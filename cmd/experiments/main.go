@@ -1,0 +1,98 @@
+// Command experiments regenerates the tables and figures of the MATEX paper
+// (DAC 2014) on the synthetic benchmark suite and prints them in the paper's
+// layout. EXPERIMENTS.md records its output next to the paper's numbers.
+//
+// Usage:
+//
+//	experiments -table 1            # Table 1 (stiff RC meshes)
+//	experiments -table 2 -scale 0.5 # Table 2 at half grid size
+//	experiments -table 3            # Table 3 (distributed vs fixed TR)
+//	experiments -fig 5              # Fig. 5 error-vs-step sweep
+//	experiments -all                # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/matex-sim/matex/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "paper table to regenerate (1, 2 or 3)")
+	fig := flag.Int("fig", 0, "paper figure to regenerate (5)")
+	gammaSweep := flag.Bool("gamma", false, "run the gamma-sensitivity ablation (Sec. 3.3.2 claim)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	scale := flag.Float64("scale", 1.0, "grid-size multiplier for the IBM-style benchmarks")
+	designs := flag.String("designs", "", "comma-separated benchmark subset (default: full suite)")
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 && !*gammaSweep {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var names []string
+	if *designs != "" {
+		names = splitComma(*designs)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		rows, err := experiments.RunTable1(experiments.Table1Config{})
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *table == 2 {
+		rows, err := experiments.RunTable2(experiments.Table2Config{Designs: names, Scale: *scale})
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *table == 3 {
+		rows, err := experiments.RunTable3(experiments.Table3Config{Designs: names, Scale: *scale})
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *fig == 5 {
+		series, err := experiments.RunFig5(experiments.Fig5Config{})
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintFig5(os.Stdout, series)
+		fmt.Println()
+	}
+	if *all || *gammaSweep {
+		rows, err := experiments.RunGammaSweep(experiments.GammaConfig{})
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintGammaSweep(os.Stdout, rows)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Command matex simulates a power distribution network netlist.
+//
+// It parses a SPICE-subset deck (the IBM power grid benchmark format), runs
+// the selected transient integrator, and writes the probed node waveforms as
+// tab-separated values.
+//
+// Usage:
+//
+//	matex -method rmatex -tstop 10n grid.sp
+//	matex -method tr -step 10p grid.sp            # fixed-step trapezoidal
+//	matex -method rmatex -distributed grid.sp     # bump-group decomposition
+//	matex -method rmatex -workers host1:9090,host2:9090 grid.sp
+//
+// Probed nodes come from the deck's ".print tran v(...)" cards; without any,
+// the first node of the deck is probed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/netlist"
+	"github.com/matex-sim/matex/internal/transient"
+)
+
+var methods = map[string]transient.Method{
+	"tr":     transient.TRFixed,
+	"be":     transient.BEFixed,
+	"fe":     transient.FEFixed,
+	"tradpt": transient.TRAdaptive,
+	"mexp":   transient.MEXP,
+	"imatex": transient.IMATEX,
+	"rmatex": transient.RMATEX,
+}
+
+func main() {
+	method := flag.String("method", "rmatex", "integrator: tr, be, fe, tradpt, mexp, imatex, rmatex")
+	tstop := flag.Float64("tstop", 0, "simulation window in seconds (default: the deck's .tran stop)")
+	step := flag.Float64("step", 0, "fixed step for tr/be/fe in seconds (default: the deck's .tran step)")
+	tol := flag.Float64("tol", 1e-6, "Krylov error budget (MATEX) or LTE target (tradpt)")
+	gamma := flag.Float64("gamma", 1e-10, "rational shift γ for rmatex")
+	distributed := flag.Bool("distributed", false, "decompose sources by bump feature and superpose")
+	workers := flag.String("workers", "", "comma-separated matexd TCP addresses (implies -distributed)")
+	stats := flag.Bool("stats", false, "print solver work statistics to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: matex [flags] netlist.sp")
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, ok := methods[strings.ToLower(*method)]
+	if !ok {
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	deck, err := netlist.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := circuit.Stamp(deck.Circuit, circuit.StampOptions{CollapseSupplies: true})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *tstop == 0 {
+		*tstop = deck.TranStop
+	}
+	if *tstop <= 0 {
+		fatal(fmt.Errorf("no simulation window: pass -tstop or add a .tran card"))
+	}
+	if *step == 0 {
+		*step = deck.TranStep
+	}
+
+	// Probes from .print cards, else the first node.
+	probeNames := deck.Prints
+	if len(probeNames) == 0 {
+		names := sys.NodeNames()
+		if len(names) > 0 {
+			probeNames = names[:1]
+		}
+	}
+	var probes []int
+	var kept []string
+	for _, name := range probeNames {
+		idx, _, fixed, err := sys.NodeIndex(name)
+		if err != nil {
+			fatal(err)
+		}
+		if fixed {
+			fmt.Fprintf(os.Stderr, "matex: %s is a supply rail, skipping probe\n", name)
+			continue
+		}
+		probes = append(probes, idx)
+		kept = append(kept, name)
+	}
+
+	var res *transient.Result
+	var rep *dist.Report
+	if *distributed || *workers != "" {
+		cfg := dist.Config{
+			Method: m, Tstop: *tstop, Tol: *tol, Gamma: *gamma, Probes: probes,
+		}
+		if *workers != "" {
+			pool, err := dist.NewRPCPool(sys, strings.Split(*workers, ","))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Pool = pool
+		}
+		res, rep, err = dist.Run(sys, cfg)
+	} else {
+		res, err = transient.Simulate(sys, m, transient.Options{
+			Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// TSV output.
+	fmt.Printf("time")
+	for _, name := range kept {
+		fmt.Printf("\tv(%s)", name)
+	}
+	fmt.Println()
+	for i, t := range res.Times {
+		fmt.Printf("%.6e", t)
+		for k := range kept {
+			fmt.Printf("\t%.9e", res.Probes[i][k])
+		}
+		fmt.Println()
+	}
+
+	if *stats {
+		if rep != nil {
+			fmt.Fprintf(os.Stderr, "groups=%d retried=%d max_node_time=%v max_node_transient=%v\n",
+				rep.Groups, rep.Retried, rep.MaxNodeTime, rep.MaxNodeTrTime)
+		} else {
+			s := &res.Stats
+			fmt.Fprintf(os.Stderr, "factorizations=%d solve_pairs=%d spmvs=%d expm_evals=%d steps=%d m_a=%.1f m_p=%d dc=%v factor=%v transient=%v\n",
+				s.Factorizations, s.SolvePairs, s.SpMVs, s.ExpmEvals, s.Steps, s.MA(), s.MP(), s.DCTime, s.FactorTime, s.TransientTime)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "matex:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Command matexd is a MATEX worker daemon: it listens on TCP for subtasks
+// from a scheduler (cmd/matex -workers or dist.NewRPCPool), holds the
+// circuits it has been sent, and runs each subtask with the requested
+// circuit solver. Workers share nothing and only write results back — the
+// paper's Fig. 4 node.
+//
+// Usage:
+//
+//	matexd -listen :9090
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"github.com/matex-sim/matex/internal/dist"
+)
+
+func main() {
+	listen := flag.String("listen", ":9090", "TCP address to listen on")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("matexd: %v", err)
+	}
+	fmt.Printf("matexd: listening on %s\n", l.Addr())
+	if err := dist.Serve(l, dist.NewWorkerServer()); err != nil {
+		log.Fatalf("matexd: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+// Command pgbench emits synthetic IBM-style power grid benchmark netlists
+// (the stand-ins for the proprietary ibmpg*t decks, documented in
+// DESIGN.md) in the SPICE subset that cmd/matex parses.
+//
+// Usage:
+//
+//	pgbench -case ibmpg1t > ibmpg1t.sp
+//	pgbench -case ibmpg3t -scale 0.5 -probes 8 > small.sp
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/matex-sim/matex/internal/netlist"
+	"github.com/matex-sim/matex/internal/pdn"
+)
+
+func main() {
+	name := flag.String("case", "ibmpg1t", "benchmark name (ibmpg1t..ibmpg6t)")
+	scale := flag.Float64("scale", 1.0, "grid-size multiplier")
+	probes := flag.Int("probes", 4, "number of .print cards to emit")
+	flag.Parse()
+
+	spec, err := pdn.IBMCase(*name, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	ckt, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	deck := &netlist.Deck{Circuit: ckt, TranStep: 10e-12, TranStop: spec.Tstop}
+	// Spread the probes across the grid diagonal.
+	for i := 0; i < *probes; i++ {
+		x := (i + 1) * spec.NX / (*probes + 1)
+		y := (i + 1) * spec.NY / (*probes + 1)
+		deck.Prints = append(deck.Prints, pdn.NodeName(x, y))
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := netlist.Write(w, deck); err != nil {
+		fatal(err)
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Distributed MATEX: decompose a power grid's current sources by their
+// pulse "bump" features (paper Fig. 3), run each group as an independent
+// zero-state subtask, and superpose — first in-process, then over TCP
+// workers on the loopback interface (the paper's Fig. 4 flow end to end).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net"
+
+	matex "github.com/matex-sim/matex"
+	"github.com/matex-sim/matex/internal/dist"
+)
+
+func main() {
+	spec, err := matex.IBMCase("ibmpg1t", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckt, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := matex.Stamp(ckt, matex.StampOptions{CollapseSupplies: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	probes := []int{0, sys.NumNodes / 2}
+
+	// Show the decomposition: GTS vs per-group LTS.
+	gts := sys.GTS(10e-9)
+	tasks := dist.Partition(sys, 10e-9)
+	fmt.Printf("global transition spots (GTS): %d points\n", len(gts))
+	fmt.Printf("source groups (bump features): %d\n", len(tasks))
+	for _, task := range tasks[:min(4, len(tasks))] {
+		fmt.Printf("  group %d: %d sources\n", task.GroupID, len(task.InputIdx))
+	}
+	if len(tasks) > 4 {
+		fmt.Printf("  ... and %d more groups\n", len(tasks)-4)
+	}
+
+	// In-process pool (one goroutine per group).
+	local, rep, err := matex.SimulateDistributed(sys, matex.DistConfig{
+		Method: matex.RMATEX, Tstop: 10e-9, Tol: 1e-7, Probes: probes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-process: %d nodes, slowest node %v (transient %v)\n",
+		rep.Groups, rep.MaxNodeTime.Round(1e5), rep.MaxNodeTrTime.Round(1e5))
+
+	// Two TCP workers on loopback (stand-ins for cluster machines; in a real
+	// deployment run `matexd -listen :9090` per machine).
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer l.Close()
+		go dist.Serve(l, matex.NewWorkerServer())
+		addrs = append(addrs, l.Addr().String())
+	}
+	pool, err := matex.NewRPCPool(sys, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remote, rep2, err := matex.SimulateDistributed(sys, matex.DistConfig{
+		Method: matex.RMATEX, Tstop: 10e-9, Tol: 1e-7, Probes: probes, Pool: pool,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var maxDiff float64
+	for i := range local.Times {
+		for k := range probes {
+			if d := math.Abs(local.Probes[i][k] - remote.Probes[i][k]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("TCP workers: %d groups over %d workers, retried %d\n",
+		rep2.Groups, len(addrs), rep2.Retried)
+	fmt.Printf("in-process vs TCP max deviation: %.1e V (identical computation)\n", maxDiff)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+// Stiffness study: sweep the stiffness of an RC mesh and watch the standard
+// Krylov subspace (MEXP) grow while the rational subspace (R-MATEX) stays
+// small — the paper's Table 1 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	matex "github.com/matex-sim/matex"
+)
+
+func main() {
+	drive := &matex.Pulse{V1: 0, V2: 1e-3, Delay: 0.02e-9, Rise: 0.01e-9, Width: 0.1e-9, Fall: 0.01e-9}
+	fmt.Printf("%12s %22s %22s\n", "stiffness", "MEXP (m_a / m_p)", "R-MATEX (m_a / m_p)")
+	for _, spread := range []float64{1e3, 1e6, 1e9} {
+		spec := matex.StiffMeshSpec{NX: 12, NY: 12, RSeg: 1, Spread: spread, Drive: drive}
+		ckt, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := matex.Stamp(ckt, matex.StampOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stiff, err := matex.Stiffness(sys, 300)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cells [2]string
+		for i, m := range []matex.Method{matex.MEXP, matex.RMATEX} {
+			opts := matex.Options{Tstop: 0.3e-9, Tol: 1e-7, Gamma: 5e-12}
+			if m == matex.MEXP {
+				opts.MaxStep = 5e-12 // the standard subspace needs bounded h·‖A‖
+			}
+			res, err := matex.Simulate(sys, m, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cells[i] = fmt.Sprintf("%6.1f / %3d", res.Stats.MA(), res.Stats.MP())
+		}
+		fmt.Printf("%12.1e %22s %22s\n", stiff, cells[0], cells[1])
+	}
+	fmt.Println("\nthe standard subspace chases the fast eigenvalues as stiffness grows;")
+	fmt.Println("the shift-and-invert subspace keeps capturing the slow, dominant modes.")
+}

@@ -1,0 +1,142 @@
+package dense
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a dense factorization meets a zero pivot.
+var ErrSingular = errors.New("dense: matrix is singular")
+
+// LU is a dense LU factorization with partial pivoting, P·A = L·U stored
+// packed in a single matrix.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// FactorLU factors the square matrix a (a is not modified).
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.R != a.C {
+		return nil, errors.New("dense: FactorLU needs a square matrix")
+	}
+	n := a.R
+	lu := a.Clone()
+	piv := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		piv[k] = p
+		if p != k {
+			sign = -sign
+			for j := 0; j < n; j++ {
+				lu.Data[k*n+j], lu.Data[p*n+j] = lu.Data[p*n+j], lu.Data[k*n+j]
+			}
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) / pivot
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Data[i*n+j] -= l * lu.Data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve computes x = A⁻¹ b, returning a new slice.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.R
+	if len(b) != n {
+		panic("dense: LU.Solve dimension mismatch")
+	}
+	x := append([]float64(nil), b...)
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward (unit lower).
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : i*n+i]
+		var s float64
+		for j, l := range row {
+			s += l * x[j]
+		}
+		x[i] -= s
+	}
+	// Backward.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveMatrix computes A⁻¹ B column by column.
+func (f *LU) SolveMatrix(b *Matrix) *Matrix {
+	n := f.lu.R
+	if b.R != n {
+		panic("dense: SolveMatrix dimension mismatch")
+	}
+	out := New(n, b.C)
+	col := make([]float64, n)
+	for j := 0; j < b.C; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := f.Solve(col)
+		for i := 0; i < n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.R
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve computes x = A⁻¹ b for a dense square a (convenience wrapper).
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A⁻¹.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Eye(a.R)), nil
+}

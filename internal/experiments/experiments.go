@@ -1,0 +1,94 @@
+// Package experiments regenerates the tables and figures of the MATEX paper
+// (DAC 2014) on the synthetic benchmark suite. Each RunTableN function
+// returns structured rows; cmd/experiments prints them in the paper's layout
+// and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/transient"
+)
+
+// buildSystem stamps a circuit with power-grid defaults.
+func buildSystem(ckt *circuit.Circuit) (*circuit.System, error) {
+	return circuit.Stamp(ckt, circuit.StampOptions{CollapseSupplies: true})
+}
+
+// probeSample picks up to max deterministic probe indices spread over the
+// free nodes (error metrics are computed over these "output nodes").
+func probeSample(sys *circuit.System, max int) []int {
+	n := sys.NumNodes
+	if n <= max {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, 0, max)
+	stride := n / max
+	for i := 0; i < n && len(idx) < max; i += stride {
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// compareAt measures the maximum and average absolute deviation of res from
+// the reference (interpolated) at res's times over all probe columns.
+func compareAt(res, ref *transient.Result, nProbes int) (maxErr, avgErr float64) {
+	var sum float64
+	var count int
+	for i, t := range res.Times {
+		for k := 0; k < nProbes; k++ {
+			d := math.Abs(res.Probes[i][k] - ref.InterpProbe(t, k))
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return math.Inf(1), math.Inf(1)
+			}
+			if d > maxErr {
+				maxErr = d
+			}
+			sum += d
+			count++
+		}
+	}
+	if count > 0 {
+		avgErr = sum / float64(count)
+	}
+	return maxErr, avgErr
+}
+
+// relErrPct measures the maximum deviation of res from ref at res's times as
+// a percentage of the reference's dynamic range.
+func relErrPct(res, ref *transient.Result, nProbes int) float64 {
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for i := range ref.Times {
+		for k := 0; k < nProbes; k++ {
+			v := ref.Probes[i][k]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	scale := hi - lo
+	if scale == 0 {
+		scale = math.Max(math.Abs(hi), 1)
+	}
+	maxErr, _ := compareAt(res, ref, nProbes)
+	return 100 * maxErr / scale
+}
+
+func fmtDuration(seconds float64) string {
+	return fmt.Sprintf("%.3f", seconds)
+}
+
+// gtsCount returns the number of global transition spots of a system over
+// the window (the paper's K).
+func gtsCount(sys *circuit.System, tstop float64) int {
+	return len(sys.GTS(tstop))
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/transient"
+)
+
+// Table2Row is one line of the paper's Table 2: adaptive-stepping TR vs
+// I-MATEX vs R-MATEX on an IBM-style benchmark. Times are in seconds.
+type Table2Row struct {
+	Design      string
+	DC          float64
+	TRAdptTotal float64
+	IMATEXTotal float64
+	Spdp1       float64 // TR(adpt)/I-MATEX
+	RMATEXTotal float64
+	Spdp2       float64 // TR(adpt)/R-MATEX
+	Spdp3       float64 // I-MATEX/R-MATEX
+	MaxErrI     float64 // vs R-MATEX-consistency check, volts
+}
+
+// Table2Config parameterizes the adaptive-stepping comparison.
+type Table2Config struct {
+	// Designs lists benchmark names (default: the full suite).
+	Designs []string
+	// Scale shrinks the grids (1.0 = laptop-scale default).
+	Scale float64
+	// Tstop is the window (default 10 ns).
+	Tstop float64
+	// Tol: Krylov budget for MATEX, LTE target for adaptive TR.
+	Tol float64
+}
+
+func (c Table2Config) withDefaults() Table2Config {
+	if len(c.Designs) == 0 {
+		c.Designs = pdn.IBMSuite()
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Tstop <= 0 {
+		c.Tstop = 10e-9
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// RunTable2 regenerates Table 2.
+func RunTable2(cfg Table2Config) ([]Table2Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table2Row
+	for _, name := range cfg.Designs {
+		spec, err := pdn.IBMCase(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ckt, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		sys, err := buildSystem(ckt)
+		if err != nil {
+			return nil, err
+		}
+		probes := probeSample(sys, 64)
+
+		trRes, err := transient.Simulate(sys, transient.TRAdaptive, transient.Options{
+			Tstop: cfg.Tstop, Probes: probes, Tol: 1e-4,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2: TR(adpt) on %s: %w", name, err)
+		}
+		iRes, err := transient.Simulate(sys, transient.IMATEX, transient.Options{
+			Tstop: cfg.Tstop, Probes: probes, Tol: cfg.Tol,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2: I-MATEX on %s: %w", name, err)
+		}
+		rRes, err := transient.Simulate(sys, transient.RMATEX, transient.Options{
+			Tstop: cfg.Tstop, Probes: probes, Tol: cfg.Tol,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2: R-MATEX on %s: %w", name, err)
+		}
+
+		total := func(s transient.Stats) float64 {
+			return (s.DCTime + s.FactorTime + s.TransientTime).Seconds()
+		}
+		row := Table2Row{
+			Design:      name,
+			DC:          trRes.Stats.DCTime.Seconds(),
+			TRAdptTotal: total(trRes.Stats),
+			IMATEXTotal: total(iRes.Stats),
+			RMATEXTotal: total(rRes.Stats),
+		}
+		if row.IMATEXTotal > 0 {
+			row.Spdp1 = row.TRAdptTotal / row.IMATEXTotal
+		}
+		if row.RMATEXTotal > 0 {
+			row.Spdp2 = row.TRAdptTotal / row.RMATEXTotal
+			row.Spdp3 = row.IMATEXTotal / row.RMATEXTotal
+		}
+		maxErr, _ := compareAt(rRes, iRes, len(probes))
+		row.MaxErrI = maxErr
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders rows in the paper's layout.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: TR(adpt) vs I-MATEX vs R-MATEX (total seconds)")
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %7s %10s %7s %7s\n",
+		"Design", "DC(s)", "TRadpt(s)", "IMATEX(s)", "Spdp1", "RMATEX(s)", "Spdp2", "Spdp3")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8s %10s %10s %6.1fX %10s %6.1fX %6.1fX\n",
+			r.Design, fmtDuration(r.DC), fmtDuration(r.TRAdptTotal), fmtDuration(r.IMATEXTotal),
+			r.Spdp1, fmtDuration(r.RMATEXTotal), r.Spdp2, r.Spdp3)
+	}
+}

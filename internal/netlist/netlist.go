@@ -1,0 +1,343 @@
+// Package netlist parses and writes the SPICE subset used by the IBM power
+// grid benchmarks: R/C/L/V/I element cards with numeric SI suffixes, PULSE
+// and PWL source specifications, comment and continuation lines, and the
+// .tran/.print/.end control cards.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// Deck is a parsed netlist: the circuit plus its analysis directives.
+type Deck struct {
+	Circuit *circuit.Circuit
+	// TranStep and TranStop come from the .tran card (0 when absent).
+	TranStep, TranStop float64
+	// Prints lists the node names from .print tran v(...) cards.
+	Prints []string
+}
+
+// Parse reads a netlist deck.
+func Parse(r io.Reader) (*Deck, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+
+	// Join continuation lines ("+" prefix) into logical lines.
+	var logical []string
+	var lineNums []int
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimRight(sc.Text(), " \t\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "+") {
+			if len(logical) == 0 {
+				return nil, fmt.Errorf("netlist: line %d: continuation with no previous line", ln)
+			}
+			logical[len(logical)-1] += " " + strings.TrimSpace(line[1:])
+			continue
+		}
+		logical = append(logical, strings.TrimSpace(line))
+		lineNums = append(lineNums, ln)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+
+	deck := &Deck{Circuit: circuit.New("")}
+	for i, line := range logical {
+		if err := parseLine(deck, line, i == 0); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", lineNums[i], err)
+		}
+	}
+	return deck, nil
+}
+
+func parseLine(deck *Deck, line string, first bool) error {
+	if strings.HasPrefix(line, "*") {
+		if first && deck.Circuit.Title == "" {
+			deck.Circuit.Title = strings.TrimSpace(line[1:])
+		}
+		return nil
+	}
+	lower := strings.ToLower(line)
+	if strings.HasPrefix(lower, ".") {
+		return parseControl(deck, line, lower)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return fmt.Errorf("element card %q has too few fields", line)
+	}
+	name := fields[0]
+	switch strings.ToLower(name[:1]) {
+	case "r":
+		if len(fields) < 4 {
+			return fmt.Errorf("resistor %s needs two nodes and a value", name)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("resistor %s: %w", name, err)
+		}
+		return deck.Circuit.AddR(name, fields[1], fields[2], v)
+	case "c":
+		if len(fields) < 4 {
+			return fmt.Errorf("capacitor %s needs two nodes and a value", name)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("capacitor %s: %w", name, err)
+		}
+		return deck.Circuit.AddC(name, fields[1], fields[2], v)
+	case "l":
+		if len(fields) < 4 {
+			return fmt.Errorf("inductor %s needs two nodes and a value", name)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("inductor %s: %w", name, err)
+		}
+		return deck.Circuit.AddL(name, fields[1], fields[2], v)
+	case "v":
+		w, err := parseSource(strings.Join(fields[3:], " "))
+		if err != nil {
+			return fmt.Errorf("voltage source %s: %w", name, err)
+		}
+		deck.Circuit.AddV(name, fields[1], fields[2], w)
+		return nil
+	case "i":
+		w, err := parseSource(strings.Join(fields[3:], " "))
+		if err != nil {
+			return fmt.Errorf("current source %s: %w", name, err)
+		}
+		deck.Circuit.AddI(name, fields[1], fields[2], w)
+		return nil
+	default:
+		return fmt.Errorf("unsupported element %q", name)
+	}
+}
+
+func parseControl(deck *Deck, line, lower string) error {
+	fields := strings.Fields(lower)
+	switch fields[0] {
+	case ".end", ".op", ".options", ".option":
+		return nil
+	case ".tran":
+		if len(fields) < 3 {
+			return fmt.Errorf(".tran needs a step and stop time")
+		}
+		step, err := ParseValue(fields[1])
+		if err != nil {
+			return fmt.Errorf(".tran step: %w", err)
+		}
+		stop, err := ParseValue(fields[2])
+		if err != nil {
+			return fmt.Errorf(".tran stop: %w", err)
+		}
+		deck.TranStep, deck.TranStop = step, stop
+		return nil
+	case ".print":
+		// .print tran v(node) v(node2) ... — keep the original case of node
+		// names by re-scanning the raw line.
+		raw := strings.Fields(line)
+		for _, f := range raw[1:] {
+			fl := strings.ToLower(f)
+			if strings.HasPrefix(fl, "v(") && strings.HasSuffix(f, ")") {
+				deck.Prints = append(deck.Prints, f[2:len(f)-1])
+			}
+		}
+		return nil
+	default:
+		// Unknown control cards are ignored (the IBM decks carry a few).
+		return nil
+	}
+}
+
+// parseSource parses a source specification: a bare value (DC), "DC v",
+// "PULSE(v1 v2 td tr tf pw per)", or "PWL(t1 v1 t2 v2 ...)".
+func parseSource(spec string) (waveform.Waveform, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return nil, fmt.Errorf("empty source specification")
+	}
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasPrefix(lower, "pulse"):
+		args, err := parenArgs(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("PULSE needs at least v1 v2, got %d args", len(args))
+		}
+		vals := make([]float64, 7)
+		for i := 0; i < len(args) && i < 7; i++ {
+			v, err := ParseValue(args[i])
+			if err != nil {
+				return nil, fmt.Errorf("PULSE arg %d: %w", i+1, err)
+			}
+			vals[i] = v
+		}
+		// SPICE order: V1 V2 TD TR TF PW PER.
+		p := &waveform.Pulse{
+			V1: vals[0], V2: vals[1], Delay: vals[2],
+			Rise: vals[3], Fall: vals[4], Width: vals[5], Period: vals[6],
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case strings.HasPrefix(lower, "pwl"):
+		args, err := parenArgs(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("PWL needs an even number of args, got %d", len(args))
+		}
+		ts := make([]float64, len(args)/2)
+		vs := make([]float64, len(args)/2)
+		for i := range ts {
+			var err error
+			if ts[i], err = ParseValue(args[2*i]); err != nil {
+				return nil, fmt.Errorf("PWL time %d: %w", i, err)
+			}
+			if vs[i], err = ParseValue(args[2*i+1]); err != nil {
+				return nil, fmt.Errorf("PWL value %d: %w", i, err)
+			}
+		}
+		return waveform.NewPWL(ts, vs)
+	case strings.HasPrefix(lower, "sin"):
+		args, err := parenArgs(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 3 {
+			return nil, fmt.Errorf("SIN needs at least vo va freq, got %d args", len(args))
+		}
+		vals := make([]float64, 5)
+		for i := 0; i < len(args) && i < 5; i++ {
+			v, err := ParseValue(args[i])
+			if err != nil {
+				return nil, fmt.Errorf("SIN arg %d: %w", i+1, err)
+			}
+			vals[i] = v
+		}
+		w := &waveform.Sin{VO: vals[0], VA: vals[1], Freq: vals[2], Delay: vals[3], Theta: vals[4]}
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	case strings.HasPrefix(lower, "exp"):
+		args, err := parenArgs(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 6 {
+			return nil, fmt.Errorf("EXP needs v1 v2 td1 tau1 td2 tau2, got %d args", len(args))
+		}
+		vals := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			v, err := ParseValue(args[i])
+			if err != nil {
+				return nil, fmt.Errorf("EXP arg %d: %w", i+1, err)
+			}
+			vals[i] = v
+		}
+		w := &waveform.Exp{V1: vals[0], V2: vals[1], TD1: vals[2], Tau1: vals[3], TD2: vals[4], Tau2: vals[5]}
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	case strings.HasPrefix(lower, "dc"):
+		rest := strings.TrimSpace(s[2:])
+		v, err := ParseValue(rest)
+		if err != nil {
+			return nil, fmt.Errorf("DC value: %w", err)
+		}
+		return waveform.DC(v), nil
+	default:
+		v, err := ParseValue(strings.Fields(s)[0])
+		if err != nil {
+			return nil, fmt.Errorf("source value: %w", err)
+		}
+		return waveform.DC(v), nil
+	}
+}
+
+// parenArgs extracts the whitespace/comma separated arguments inside the
+// first (...) group, tolerating "PULSE (" spacing and missing parentheses
+// ("PULSE 0 1 ..." appears in the wild).
+func parenArgs(s string) ([]string, error) {
+	open := strings.IndexByte(s, '(')
+	var inner string
+	if open < 0 {
+		// No parentheses: arguments follow the keyword.
+		fs := strings.Fields(s)
+		return fs[1:], nil
+	}
+	close := strings.LastIndexByte(s, ')')
+	if close < open {
+		return nil, fmt.Errorf("unbalanced parentheses in %q", s)
+	}
+	inner = s[open+1 : close]
+	inner = strings.ReplaceAll(inner, ",", " ")
+	return strings.Fields(inner), nil
+}
+
+// siSuffix maps SPICE magnitude suffixes to multipliers. "meg" must be
+// matched before "m".
+var siSuffix = []struct {
+	suffix string
+	mult   float64
+}{
+	{"meg", 1e6}, {"mil", 25.4e-6},
+	{"t", 1e12}, {"g", 1e9}, {"k", 1e3},
+	{"m", 1e-3}, {"u", 1e-6}, {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+}
+
+// ParseValue parses a SPICE numeric literal with optional SI suffix and
+// trailing unit letters (e.g. "10ps", "1.5MEG", "2.2u", "0.5").
+func ParseValue(s string) (float64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return 0, fmt.Errorf("empty numeric literal")
+	}
+	// Split mantissa from the first alphabetic character that is not part of
+	// an exponent.
+	cut := len(t)
+	for i := 0; i < len(t); i++ {
+		ch := t[i]
+		if ch >= 'a' && ch <= 'z' {
+			if ch == 'e' && i+1 < len(t) && (t[i+1] == '+' || t[i+1] == '-' || (t[i+1] >= '0' && t[i+1] <= '9')) {
+				continue // exponent
+			}
+			cut = i
+			break
+		}
+	}
+	mant, rest := t[:cut], t[cut:]
+	v, err := strconv.ParseFloat(mant, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad numeric literal %q", s)
+	}
+	if rest == "" {
+		return v, nil
+	}
+	for _, sfx := range siSuffix {
+		if strings.HasPrefix(rest, sfx.suffix) {
+			return v * sfx.mult, nil
+		}
+	}
+	// Unknown trailing letters (e.g. "s", "v", "a" units) are ignored per
+	// SPICE convention.
+	return v, nil
+}

@@ -1,0 +1,198 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"10", 10}, {"10p", 10e-12}, {"10ps", 10e-12}, {"1.5n", 1.5e-9},
+		{"2.2u", 2.2e-6}, {"3m", 3e-3}, {"4k", 4e3}, {"5MEG", 5e6},
+		{"1e-9", 1e-9}, {"1E3", 1e3}, {"-0.5", -0.5}, {"1f", 1e-15},
+		{"2g", 2e9}, {"7t", 7e12}, {"1.8v", 1.8}, {"100s", 100},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-15*math.Abs(c.want) {
+			t.Errorf("ParseValue(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1..2"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+const sampleDeck = `* ibmpg-style test deck
+R1 n1_100_100 n1_100_200 1.5
+r2 n1_100_200 0 2k
+C1 n1_100_200 0 10f
+L1 n1_100_100 n2_100_100 1p
+V1 n2_100_100 0 1.8
+i1 n1_100_200 0 PULSE(0 0.01 1n 0.1n 0.1n 2n 8n)
+i2 n1_100_100 gnd PWL(0 0 1n 0.02 2n 0)
+.tran 10p 10n
+.print tran v(n1_100_200) v(n1_100_100)
+.end
+`
+
+func TestParseSampleDeck(t *testing.T) {
+	deck, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+	if c.Title != "ibmpg-style test deck" {
+		t.Errorf("title = %q", c.Title)
+	}
+	if len(c.Resistors) != 2 || len(c.Capacitors) != 1 || len(c.Inductors) != 1 {
+		t.Fatalf("element counts: R=%d C=%d L=%d", len(c.Resistors), len(c.Capacitors), len(c.Inductors))
+	}
+	if len(c.VSources) != 1 || len(c.ISources) != 2 {
+		t.Fatalf("source counts: V=%d I=%d", len(c.VSources), len(c.ISources))
+	}
+	if c.Resistors[1].R != 2000 {
+		t.Errorf("r2 = %v, want 2000", c.Resistors[1].R)
+	}
+	if math.Abs(c.Capacitors[0].C-10e-15) > 1e-12*10e-15 {
+		t.Errorf("C1 = %v", c.Capacitors[0].C)
+	}
+	p, ok := c.ISources[0].Wave.(*waveform.Pulse)
+	if !ok {
+		t.Fatalf("i1 wave type %T", c.ISources[0].Wave)
+	}
+	near := func(got, want float64) bool { return math.Abs(got-want) <= 1e-12*math.Abs(want) }
+	if !near(p.V2, 0.01) || !near(p.Delay, 1e-9) || !near(p.Rise, 0.1e-9) ||
+		!near(p.Fall, 0.1e-9) || !near(p.Width, 2e-9) || !near(p.Period, 8e-9) {
+		t.Errorf("pulse = %+v", *p)
+	}
+	if _, ok := c.ISources[1].Wave.(*waveform.PWL); !ok {
+		t.Fatalf("i2 wave type %T", c.ISources[1].Wave)
+	}
+	if deck.TranStep != 10e-12 || deck.TranStop != 10e-9 {
+		t.Errorf("tran = %g %g", deck.TranStep, deck.TranStop)
+	}
+	if len(deck.Prints) != 2 || deck.Prints[0] != "n1_100_200" {
+		t.Errorf("prints = %v", deck.Prints)
+	}
+}
+
+func TestParseContinuationLines(t *testing.T) {
+	deck, err := Parse(strings.NewReader(
+		"* cont\ni1 a 0 PULSE(0 1\n+ 1n 0.1n 0.1n\n+ 2n 8n)\nR1 a 0 1\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := deck.Circuit.ISources[0].Wave.(*waveform.Pulse)
+	if p.Period != 8e-9 {
+		t.Errorf("pulse period = %v", p.Period)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"+ orphan continuation\n",
+		"R1 a 0\n",     // missing value
+		"R1 a 0 0\n",   // zero resistance
+		"Q1 a b c 1\n", // unsupported element
+		"V1 a 0 PULSE(0)\n",
+		"I1 a 0 PWL(0 1 2)\n", // odd args
+		"C1 a 0 xyz\n",
+		".tran 1n\n", // missing stop
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	deck, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, deck); err != nil {
+		t.Fatal(err)
+	}
+	deck2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	c1, c2 := deck.Circuit, deck2.Circuit
+	if len(c1.Resistors) != len(c2.Resistors) || len(c1.ISources) != len(c2.ISources) ||
+		len(c1.Capacitors) != len(c2.Capacitors) || len(c1.Inductors) != len(c2.Inductors) ||
+		len(c1.VSources) != len(c2.VSources) {
+		t.Fatal("element counts changed in round trip")
+	}
+	if deck2.TranStop != deck.TranStop || len(deck2.Prints) != len(deck.Prints) {
+		t.Fatal("directives changed in round trip")
+	}
+	p1 := c1.ISources[0].Wave.(*waveform.Pulse)
+	p2 := c2.ISources[0].Wave.(*waveform.Pulse)
+	for _, pair := range [][2]float64{
+		{p1.V1, p2.V1}, {p1.V2, p2.V2}, {p1.Delay, p2.Delay},
+		{p1.Rise, p2.Rise}, {p1.Width, p2.Width}, {p1.Fall, p2.Fall}, {p1.Period, p2.Period},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-12*(1+math.Abs(pair[0])) {
+			t.Fatalf("pulse changed: %+v vs %+v", *p1, *p2)
+		}
+	}
+	// Values preserved exactly for a representative sample of times.
+	for _, tt := range []float64{0, 0.5e-9, 1.05e-9, 3e-9, 9e-9} {
+		w1 := c1.ISources[1].Wave
+		w2 := c2.ISources[1].Wave
+		if math.Abs(w1.Value(tt)-w2.Value(tt)) > 1e-15 {
+			t.Fatalf("PWL value changed at t=%g", tt)
+		}
+	}
+}
+
+func TestBuild(t *testing.T) {
+	deck, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := deck.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N == 0 || sys.C.NNZ() == 0 || sys.G.NNZ() == 0 {
+		t.Fatalf("degenerate system: N=%d", sys.N)
+	}
+}
+
+func TestParsePulseWithoutParens(t *testing.T) {
+	deck, err := Parse(strings.NewReader("i1 a 0 PULSE 0 1 1n 0.1n 0.1n 2n 8n\nR1 a 0 1\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := deck.Circuit.ISources[0].Wave.(*waveform.Pulse)
+	if !ok || p.Period != 8e-9 {
+		t.Fatalf("pulse = %+v", p)
+	}
+}
+
+func TestParseDCKeyword(t *testing.T) {
+	deck, err := Parse(strings.NewReader("V1 a 0 DC 1.8\nR1 a 0 1\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc, ok := deck.Circuit.VSources[0].Wave.(waveform.DC); !ok || float64(dc) != 1.8 {
+		t.Fatalf("wave = %#v", deck.Circuit.VSources[0].Wave)
+	}
+}

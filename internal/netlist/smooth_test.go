@@ -1,0 +1,87 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+func TestParseSinSource(t *testing.T) {
+	deck, err := Parse(strings.NewReader("i1 a 0 SIN(0.5 1m 1g 1n 2e8)\nR1 a 0 1\nC1 a 0 1p\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := deck.Circuit.ISources[0].Wave.(*waveform.Sin)
+	if !ok {
+		t.Fatalf("wave type %T", deck.Circuit.ISources[0].Wave)
+	}
+	if s.VO != 0.5 || s.VA != 1e-3 || s.Freq != 1e9 || math.Abs(s.Delay-1e-9) > 1e-21 || s.Theta != 2e8 {
+		t.Fatalf("sin = %+v", *s)
+	}
+	// Short form without delay/theta.
+	deck2, err := Parse(strings.NewReader("V1 a 0 SIN(0 1 60)\nR1 a 0 1\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := deck2.Circuit.VSources[0].Wave.(*waveform.Sin)
+	if s2.Freq != 60 || s2.Delay != 0 {
+		t.Fatalf("sin short form = %+v", *s2)
+	}
+}
+
+func TestParseExpSource(t *testing.T) {
+	deck, err := Parse(strings.NewReader("i1 a 0 EXP(0 2m 1n 0.1n 3n 0.2n)\nR1 a 0 1\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := deck.Circuit.ISources[0].Wave.(*waveform.Exp)
+	if !ok {
+		t.Fatalf("wave type %T", deck.Circuit.ISources[0].Wave)
+	}
+	if e.V2 != 2e-3 || math.Abs(e.TD2-3e-9) > 1e-21 {
+		t.Fatalf("exp = %+v", *e)
+	}
+}
+
+func TestSmoothSourceErrors(t *testing.T) {
+	cases := []string{
+		"i1 a 0 SIN(0 1)\nR1 a 0 1\n.end\n",                 // too few args
+		"i1 a 0 SIN(0 1 0)\nR1 a 0 1\n.end\n",               // zero frequency
+		"i1 a 0 EXP(0 1 1n 0.1n)\nR1 a 0 1\n.end\n",         // too few args
+		"i1 a 0 EXP(0 1 2n 0.1n 1n 0.1n)\nR1 a 0 1\n.end\n", // decay before rise
+		"i1 a 0 SIN(0 x 1)\nR1 a 0 1\n.end\n",               // bad literal
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSmoothRoundTrip(t *testing.T) {
+	src := "* smooth\nR1 a 0 1\nC1 a 0 1p\ni1 a 0 SIN(0 0.001 1e9 1e-9 0)\ni2 a 0 EXP(0 0.002 1e-9 1e-10 3e-9 2e-10)\n.end\n"
+	deck, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, deck); err != nil {
+		t.Fatal(err)
+	}
+	deck2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	for _, tt := range []float64{0, 0.3e-9, 1.2e-9, 2.7e-9, 4e-9} {
+		for k := 0; k < 2; k++ {
+			v1 := deck.Circuit.ISources[k].Wave.Value(tt)
+			v2 := deck2.Circuit.ISources[k].Wave.Value(tt)
+			if math.Abs(v1-v2) > 1e-15 {
+				t.Fatalf("source %d changed at t=%g: %g vs %g", k, tt, v1, v2)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// Write emits the deck as a SPICE netlist readable by Parse (and by SPICE
+// itself for the card subset used here).
+func Write(w io.Writer, deck *Deck) error {
+	bw := bufio.NewWriter(w)
+	c := deck.Circuit
+	title := c.Title
+	if title == "" {
+		title = "netlist"
+	}
+	fmt.Fprintf(bw, "* %s\n", title)
+	for _, e := range c.Resistors {
+		fmt.Fprintf(bw, "%s %s %s %.12g\n", e.Name, e.A, e.B, e.R)
+	}
+	for _, e := range c.Capacitors {
+		fmt.Fprintf(bw, "%s %s %s %.12g\n", e.Name, e.A, e.B, e.C)
+	}
+	for _, e := range c.Inductors {
+		fmt.Fprintf(bw, "%s %s %s %.12g\n", e.Name, e.A, e.B, e.L)
+	}
+	for _, e := range c.VSources {
+		fmt.Fprintf(bw, "%s %s %s %s\n", e.Name, e.Pos, e.Neg, formatWave(e.Wave))
+	}
+	for _, e := range c.ISources {
+		fmt.Fprintf(bw, "%s %s %s %s\n", e.Name, e.Pos, e.Neg, formatWave(e.Wave))
+	}
+	if deck.TranStop > 0 {
+		fmt.Fprintf(bw, ".tran %.12g %.12g\n", deck.TranStep, deck.TranStop)
+	}
+	for _, p := range deck.Prints {
+		fmt.Fprintf(bw, ".print tran v(%s)\n", p)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func formatWave(w waveform.Waveform) string {
+	switch s := w.(type) {
+	case waveform.DC:
+		return fmt.Sprintf("%.12g", float64(s))
+	case *waveform.Pulse:
+		return fmt.Sprintf("PULSE(%.12g %.12g %.12g %.12g %.12g %.12g %.12g)",
+			s.V1, s.V2, s.Delay, s.Rise, s.Fall, s.Width, s.Period)
+	case *waveform.PWL:
+		out := "PWL("
+		for i := range s.T {
+			if i > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%.12g %.12g", s.T[i], s.V[i])
+		}
+		return out + ")"
+	case *waveform.Sin:
+		return fmt.Sprintf("SIN(%.12g %.12g %.12g %.12g %.12g)", s.VO, s.VA, s.Freq, s.Delay, s.Theta)
+	case *waveform.Exp:
+		return fmt.Sprintf("EXP(%.12g %.12g %.12g %.12g %.12g %.12g)", s.V1, s.V2, s.TD1, s.Tau1, s.TD2, s.Tau2)
+	case waveform.Scaled:
+		// Scaled/Shifted wrappers have no SPICE spelling; emit the effective
+		// waveform when it is a scaled pulse, else fall back to DC at 0.
+		if p, ok := s.W.(*waveform.Pulse); ok {
+			return formatWave(&waveform.Pulse{
+				V1: s.Gain * p.V1, V2: s.Gain * p.V2,
+				Delay: p.Delay, Rise: p.Rise, Width: p.Width, Fall: p.Fall, Period: p.Period,
+			})
+		}
+		return fmt.Sprintf("%.12g", s.Value(0))
+	default:
+		return fmt.Sprintf("%.12g", w.Value(0))
+	}
+}
+
+// Build stamps the deck's circuit with power-grid defaults (supplies
+// collapsed) and returns the MNA system.
+func (d *Deck) Build() (*circuit.System, error) {
+	return circuit.Stamp(d.Circuit, circuit.StampOptions{CollapseSupplies: true})
+}

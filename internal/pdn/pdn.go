@@ -1,0 +1,239 @@
+// Package pdn generates the power-distribution-network workloads used by the
+// MATEX experiments: regular RC(L) grid models with VDD pads and pulsed
+// current loads (stand-ins for the proprietary IBM power grid benchmarks,
+// scaled to laptop size with the same structure), stiff RC meshes with a
+// controllable stiffness ratio (paper Table 1), and RC ladders with analytic
+// solutions for validating the integrators.
+package pdn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// GridSpec describes a rectangular power-grid model. The grid has NX*NY
+// nodes connected by segment resistances, a capacitance from every node to
+// ground, VDD pads at regular intervals (ideal DC sources, optionally behind
+// a package RL), and pulsed current loads at pseudo-random interior nodes.
+type GridSpec struct {
+	Name   string
+	NX, NY int
+	// RSeg is the metal segment resistance between adjacent nodes (ohms).
+	RSeg float64
+	// CNode is the decap/parasitic capacitance from each node to ground (F).
+	CNode float64
+	// VDD is the supply voltage at the pads.
+	VDD float64
+	// PadPitch places a pad every PadPitch nodes in both directions
+	// (minimum 1 pad at each corner region).
+	PadPitch int
+	// PkgR / PkgL, when positive, insert a series package resistance and
+	// inductance between each ideal pad source and the grid.
+	PkgR, PkgL float64
+	// NumLoads is the number of pulsed current loads.
+	NumLoads int
+	// NumGroups is the number of distinct bump shapes among the loads
+	// (the paper's "Group #").
+	NumGroups int
+	// IPeak is the peak load current per source (A).
+	IPeak float64
+	// Tstop is the simulation window used to spread the bump delays (s).
+	Tstop float64
+	// Seed makes the generated benchmark deterministic.
+	Seed int64
+}
+
+// NodeName returns the grid node naming, matching the IBM convention of
+// layer_x_y names.
+func NodeName(x, y int) string { return fmt.Sprintf("n1_%d_%d", x, y) }
+
+// Build generates the circuit for the spec.
+func (s GridSpec) Build() (*circuit.Circuit, error) {
+	if s.NX < 2 || s.NY < 2 {
+		return nil, fmt.Errorf("pdn: grid must be at least 2x2, got %dx%d", s.NX, s.NY)
+	}
+	if s.RSeg <= 0 || s.CNode <= 0 || s.VDD <= 0 {
+		return nil, fmt.Errorf("pdn: RSeg, CNode and VDD must be positive")
+	}
+	if s.NumGroups <= 0 {
+		s.NumGroups = 1
+	}
+	if s.PadPitch <= 0 {
+		s.PadPitch = 8
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	c := circuit.New(s.Name)
+
+	// Grid segments.
+	nr := 0
+	for y := 0; y < s.NY; y++ {
+		for x := 0; x < s.NX; x++ {
+			if x+1 < s.NX {
+				nr++
+				if err := c.AddR(fmt.Sprintf("Rh%d", nr), NodeName(x, y), NodeName(x+1, y), s.RSeg); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < s.NY {
+				nr++
+				if err := c.AddR(fmt.Sprintf("Rv%d", nr), NodeName(x, y), NodeName(x, y+1), s.RSeg); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Node capacitances.
+	nc := 0
+	for y := 0; y < s.NY; y++ {
+		for x := 0; x < s.NX; x++ {
+			nc++
+			if err := c.AddC(fmt.Sprintf("Cn%d", nc), NodeName(x, y), circuit.Ground, s.CNode); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Pads.
+	np := 0
+	for y := 0; y < s.NY; y += s.PadPitch {
+		for x := 0; x < s.NX; x += s.PadPitch {
+			np++
+			if s.PkgR > 0 || s.PkgL > 0 {
+				// Ideal source -> package R -> package L -> grid node.
+				pad := fmt.Sprintf("pad%d", np)
+				mid := fmt.Sprintf("pkg%d", np)
+				c.AddV(fmt.Sprintf("Vdd%d", np), pad, circuit.Ground, waveform.DC(s.VDD))
+				r := s.PkgR
+				if r <= 0 {
+					r = 1e-3
+				}
+				if err := c.AddR(fmt.Sprintf("Rpkg%d", np), pad, mid, r); err != nil {
+					return nil, err
+				}
+				if s.PkgL > 0 {
+					if err := c.AddL(fmt.Sprintf("Lpkg%d", np), mid, NodeName(x, y), s.PkgL); err != nil {
+						return nil, err
+					}
+				} else {
+					if err := c.AddR(fmt.Sprintf("Rpkg%db", np), mid, NodeName(x, y), 1e-3); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				c.AddV(fmt.Sprintf("Vdd%d", np), NodeName(x, y), circuit.Ground, waveform.DC(s.VDD))
+			}
+		}
+	}
+	// Load currents with a limited set of bump shapes.
+	feats := bumpFeatures(s.NumGroups, s.Tstop, rng)
+	for i := 0; i < s.NumLoads; i++ {
+		x := rng.Intn(s.NX)
+		y := rng.Intn(s.NY)
+		f := feats[rng.Intn(len(feats))]
+		amp := s.IPeak * (0.5 + rng.Float64())
+		c.AddI(fmt.Sprintf("Iload%d", i+1), NodeName(x, y), circuit.Ground, &waveform.Pulse{
+			V1: 0, V2: amp,
+			Delay: f.Delay, Rise: f.Rise, Width: f.Width, Fall: f.Fall, Period: f.Period,
+		})
+	}
+	return c, nil
+}
+
+// bumpFeatures draws n distinct pulse shapes on a coarse timing lattice, so
+// different groups still share some transition corners (as real switching
+// activity aligned to a clock does).
+func bumpFeatures(n int, tstop float64, rng *rand.Rand) []waveform.BumpFeature {
+	if tstop <= 0 {
+		tstop = 10e-9
+	}
+	quantum := tstop / 100 // 100 ps lattice for a 10 ns window
+	rises := []float64{quantum, 2 * quantum}
+	widths := []float64{2 * quantum, 4 * quantum, 8 * quantum}
+	seen := make(map[waveform.BumpFeature]bool)
+	var feats []waveform.BumpFeature
+	for len(feats) < n {
+		f := waveform.BumpFeature{
+			Delay: float64(1+rng.Intn(60)) * quantum,
+			Rise:  rises[rng.Intn(len(rises))],
+			Width: widths[rng.Intn(len(widths))],
+			Fall:  rises[rng.Intn(len(rises))],
+		}
+		if f.Delay+f.Rise+f.Width+f.Fall >= tstop {
+			continue
+		}
+		if !seen[f] {
+			seen[f] = true
+			feats = append(feats, f)
+		}
+		if len(seen) > 10000 {
+			break // lattice exhausted
+		}
+	}
+	return feats
+}
+
+// Ladder builds an n-stage RC ladder driven by a unit step current into the
+// far end: I -> [R - C] x n -> ground. Its analytic behaviour (single
+// dominant time constant for n=1) validates the integrators.
+func Ladder(n int, r, cap float64, drive waveform.Waveform) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pdn: ladder needs at least one stage")
+	}
+	c := circuit.New(fmt.Sprintf("rc ladder %d", n))
+	node := func(i int) string {
+		if i == 0 {
+			return circuit.Ground
+		}
+		return fmt.Sprintf("n%d", i)
+	}
+	for i := 1; i <= n; i++ {
+		if err := c.AddR(fmt.Sprintf("R%d", i), node(i), node(i-1), r); err != nil {
+			return nil, err
+		}
+		if err := c.AddC(fmt.Sprintf("C%d", i), node(i), circuit.Ground, cap); err != nil {
+			return nil, err
+		}
+	}
+	c.AddI("Idrive", node(n), circuit.Ground, drive)
+	return c, nil
+}
+
+// IBMCase names the synthetic stand-ins for the IBM power grid transient
+// benchmarks. Scale multiplies the grid edge length (1.0 = the laptop-scale
+// default documented in EXPERIMENTS.md).
+func IBMCase(name string, scale float64) (GridSpec, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	base := map[string]GridSpec{
+		"ibmpg1t": {NX: 30, NY: 30, NumLoads: 100, NumGroups: 20, Seed: 101},
+		"ibmpg2t": {NX: 40, NY: 40, NumLoads: 200, NumGroups: 25, Seed: 102},
+		"ibmpg3t": {NX: 60, NY: 60, NumLoads: 400, NumGroups: 30, Seed: 103},
+		"ibmpg4t": {NX: 70, NY: 70, NumLoads: 400, NumGroups: 8, Seed: 104},
+		"ibmpg5t": {NX: 80, NY: 80, NumLoads: 500, NumGroups: 30, Seed: 105},
+		"ibmpg6t": {NX: 90, NY: 90, NumLoads: 600, NumGroups: 30, Seed: 106},
+	}
+	spec, ok := base[name]
+	if !ok {
+		return GridSpec{}, fmt.Errorf("pdn: unknown IBM case %q", name)
+	}
+	spec.Name = name
+	spec.NX = int(math.Round(float64(spec.NX) * scale))
+	spec.NY = int(math.Round(float64(spec.NY) * scale))
+	spec.RSeg = 0.5
+	spec.CNode = 1e-14
+	spec.VDD = 1.8
+	spec.PadPitch = 10
+	spec.NumLoads = int(math.Round(float64(spec.NumLoads) * scale * scale))
+	spec.IPeak = 5e-3
+	spec.Tstop = 10e-9
+	return spec, nil
+}
+
+// IBMSuite lists the six benchmark names in order.
+func IBMSuite() []string {
+	return []string{"ibmpg1t", "ibmpg2t", "ibmpg3t", "ibmpg4t", "ibmpg5t", "ibmpg6t"}
+}

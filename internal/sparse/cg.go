@@ -1,0 +1,267 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoCGConvergence is returned when CG does not reach tolerance within the
+// iteration budget.
+var ErrNoCGConvergence = errors.New("sparse: conjugate gradient did not converge")
+
+// Preconditioner applies z = M⁻¹ r for an SPD approximation M of A.
+type Preconditioner interface {
+	Precondition(z, r []float64)
+}
+
+// JacobiPreconditioner is diagonal scaling.
+type JacobiPreconditioner struct {
+	invDiag []float64
+}
+
+// NewJacobiPreconditioner builds M = diag(A). Zero diagonals become 1.
+func NewJacobiPreconditioner(a *CSC) *JacobiPreconditioner {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v != 0 {
+			inv[i] = 1 / v
+		} else {
+			inv[i] = 1
+		}
+	}
+	return &JacobiPreconditioner{invDiag: inv}
+}
+
+// Precondition implements Preconditioner.
+func (p *JacobiPreconditioner) Precondition(z, r []float64) {
+	for i := range z {
+		z[i] = p.invDiag[i] * r[i]
+	}
+}
+
+// ICPreconditioner is a zero-fill incomplete Cholesky factorization
+// M = L·Lᵀ with the sparsity pattern of the lower triangle of A.
+type ICPreconditioner struct {
+	l *CSC // lower triangular, diagonal first in each column
+}
+
+// NewICPreconditioner computes IC(0) of the SPD matrix a. When a pivot goes
+// non-positive (a is not quite SPD or IC(0) breaks down), the pivot is
+// shifted — the standard fix, trading accuracy for robustness.
+func NewICPreconditioner(a *CSC) (*ICPreconditioner, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: IC needs a square matrix")
+	}
+	n := a.Cols
+	// Extract the lower triangle pattern (diagonal first).
+	colptr := make([]int, n+1)
+	var rowidx []int
+	var values []float64
+	for j := 0; j < n; j++ {
+		colptr[j] = len(rowidx)
+		diagSeen := false
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			if i < j {
+				continue
+			}
+			if i == j {
+				diagSeen = true
+			}
+			rowidx = append(rowidx, i)
+			values = append(values, a.Values[p])
+		}
+		if !diagSeen {
+			return nil, fmt.Errorf("sparse: IC: zero structural diagonal at %d", j)
+		}
+	}
+	colptr[n] = len(rowidx)
+	l := &CSC{Rows: n, Cols: n, Colptr: colptr, Rowidx: rowidx, Values: values}
+
+	// Left-looking IC(0): for each column j, subtract contributions of
+	// earlier columns restricted to the pattern, then scale.
+	// colOf[i] tracks, for the sweep of column k, the position of row i in
+	// column k's storage (or -1).
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	// firstBelow[k] is the next entry of column k participating in updates;
+	// rowNext links columns that have their current "active" row equal to r.
+	first := make([]int, n)
+	rowHead := make([]int, n)
+	rowNext := make([]int, n)
+	for i := range rowHead {
+		rowHead[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		start, end := l.Colptr[j], l.Colptr[j+1]
+		for p := start; p < end; p++ {
+			pos[l.Rowidx[p]] = p
+		}
+		// Apply updates from all columns k < j with l[j][k] != 0.
+		for k := rowHead[j]; k != -1; {
+			nextK := rowNext[k]
+			pk := first[k] // entry (j, k)
+			ljk := l.Values[pk]
+			for p := pk; p < l.Colptr[k+1]; p++ {
+				i := l.Rowidx[p]
+				if q := pos[i]; q >= 0 {
+					l.Values[q] -= ljk * l.Values[p]
+				}
+			}
+			// Advance column k to its next row and relink.
+			if pk+1 < l.Colptr[k+1] {
+				first[k] = pk + 1
+				r := l.Rowidx[pk+1]
+				rowNext[k] = rowHead[r]
+				rowHead[r] = k
+			}
+			k = nextK
+		}
+		// Scale column j.
+		dj := l.Values[start]
+		if dj <= 0 {
+			dj = 1e-3 * math.Abs(l.Values[start]) // shifted pivot fallback
+			if dj == 0 {
+				dj = 1e-12
+			}
+		}
+		dj = math.Sqrt(dj)
+		l.Values[start] = dj
+		for p := start + 1; p < end; p++ {
+			l.Values[p] /= dj
+		}
+		// Register column j for future updates.
+		if start+1 < end {
+			first[j] = start + 1
+			r := l.Rowidx[start+1]
+			rowNext[j] = rowHead[r]
+			rowHead[r] = j
+		}
+		for p := start; p < end; p++ {
+			pos[l.Rowidx[p]] = -1
+		}
+	}
+	return &ICPreconditioner{l: l}, nil
+}
+
+// Precondition implements Preconditioner: z = (L·Lᵀ)⁻¹ r.
+func (p *ICPreconditioner) Precondition(z, r []float64) {
+	l := p.l
+	copy(z, r)
+	// Forward solve L y = r.
+	for j := 0; j < l.Cols; j++ {
+		start := l.Colptr[j]
+		z[j] /= l.Values[start]
+		zj := z[j]
+		for q := start + 1; q < l.Colptr[j+1]; q++ {
+			z[l.Rowidx[q]] -= l.Values[q] * zj
+		}
+	}
+	// Backward solve Lᵀ z = y.
+	for j := l.Cols - 1; j >= 0; j-- {
+		start := l.Colptr[j]
+		s := z[j]
+		for q := start + 1; q < l.Colptr[j+1]; q++ {
+			s -= l.Values[q] * z[l.Rowidx[q]]
+		}
+		z[j] = s / l.Values[start]
+	}
+}
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖b-Ax‖/‖b‖
+}
+
+// CG solves the SPD system A·x = b by (preconditioned) conjugate gradients.
+// x holds the initial guess on entry and the solution on return. m may be
+// nil for unpreconditioned CG. tol is the relative residual target.
+//
+// Direct solvers are the right choice for repeated transient solves (the
+// paper's setting: one factorization, thousands of substitutions); CG is
+// provided for one-shot DC analyses of grids too large to factorize, and as
+// the comparison point for the ablation benchmarks.
+func CG(a *CSC, x, b []float64, m Preconditioner, tol float64, maxIter int) (CGResult, error) {
+	n := a.Cols
+	if len(x) != n || len(b) != n {
+		return CGResult{}, fmt.Errorf("sparse: CG dimension mismatch")
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{}, nil
+	}
+	applyM := func(dst, src []float64) {
+		if m != nil {
+			m.Precondition(dst, src)
+		} else {
+			copy(dst, src)
+		}
+	}
+	applyM(z, r)
+	copy(p, z)
+	rz := dotProd(r, z)
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(ap, p)
+		pap := dotProd(p, ap)
+		if pap <= 0 {
+			return CGResult{Iterations: it, Residual: norm2(r) / bnorm},
+				fmt.Errorf("sparse: CG: matrix not positive definite (pᵀAp = %g)", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		res := norm2(r) / bnorm
+		if res <= tol {
+			return CGResult{Iterations: it, Residual: res}, nil
+		}
+		applyM(z, r)
+		rzNew := dotProd(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return CGResult{Iterations: maxIter, Residual: norm2(r) / bnorm}, ErrNoCGConvergence
+}
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func dotProd(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCGUnpreconditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	a := randomSPD(rng, 50)
+	b := make([]float64, 50)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 50)
+	res, err := CG(a, x, b, nil, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, b); r > 1e-8 {
+		t.Fatalf("residual %g after %d iterations", r, res.Iterations)
+	}
+}
+
+func TestCGJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomSPD(rng, 80)
+	b := make([]float64, 80)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	xPlain := make([]float64, 80)
+	xJac := make([]float64, 80)
+	plain, err := CG(a, xPlain, b, nil, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac, err := CG(a, xJac, b, NewJacobiPreconditioner(a), 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, xJac, b); r > 1e-8 {
+		t.Fatalf("Jacobi residual %g", r)
+	}
+	t.Logf("plain %d iters, jacobi %d iters", plain.Iterations, jac.Iterations)
+}
+
+func TestCGWithICPreconditioner(t *testing.T) {
+	a := gridLaplacian(25, 25)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	xPlain := make([]float64, n)
+	plain, err := CG(a, xPlain, b, nil, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := NewICPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xIC := make([]float64, n)
+	pre, err := CG(a, xIC, b, ic, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, xIC, b); r > 1e-6 {
+		t.Fatalf("IC residual %g", r)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Errorf("IC(0) did not accelerate: %d vs %d iterations", pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestCGMatchesDirect(t *testing.T) {
+	a := gridLaplacian(15, 15)
+	n := a.Rows
+	rng := rand.New(rand.NewSource(42))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	f, err := FactorLDLT(a, OrderRCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xDirect := make([]float64, n)
+	f.Solve(xDirect, b)
+	xCG := make([]float64, n)
+	ic, err := NewICPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CG(a, xCG, b, ic, 1e-13, 5000); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xDirect {
+		if !almostEqual(xDirect[i], xCG[i], 1e-7) {
+			t.Fatalf("CG vs direct mismatch at %d: %g vs %g", i, xCG[i], xDirect[i])
+		}
+	}
+}
+
+func TestCGIndefiniteDetected(t *testing.T) {
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 1, -1)
+	a := tr.ToCSC()
+	x := make([]float64, 2)
+	if _, err := CG(a, x, []float64{0, 1}, nil, 1e-10, 100); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := gridLaplacian(5, 5)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	res, err := CG(a, x, make([]float64, a.Rows), nil, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero RHS should give zero solution")
+		}
+	}
+	if res.Iterations != 0 {
+		t.Fatal("zero RHS should not iterate")
+	}
+}
+
+func TestCGNoConvergenceBudget(t *testing.T) {
+	a := gridLaplacian(30, 30)
+	rng := rand.New(rand.NewSource(44))
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, a.Rows)
+	_, err := CG(a, x, b, nil, 1e-14, 2)
+	if !errors.Is(err, ErrNoCGConvergence) {
+		t.Fatalf("expected ErrNoCGConvergence, got %v", err)
+	}
+}
+
+// Property: preconditioned CG solves random SPD systems.
+func TestQuickCGSolves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		ic, err := NewICPreconditioner(a)
+		if err != nil {
+			return false
+		}
+		if _, err := CG(a, x, b, ic, 1e-11, 10*n); err != nil {
+			return false
+		}
+		return residual(a, x, b) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCGGridIC(b *testing.B) {
+	a := gridLaplacian(40, 40)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	ic, err := NewICPreconditioner(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, a.Rows)
+		if _, err := CG(a, x, rhs, ic, 1e-10, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// randomSparse builds a random n-by-n matrix with a guaranteed dominant
+// diagonal, so it is always nonsingular.
+func randomSparse(rng *rand.Rand, n int, density float64) *CSC {
+	t := NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		rowAbs := 1.0
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				v := rng.NormFloat64()
+				t.Add(i, j, v)
+				rowAbs += math.Abs(v)
+			}
+		}
+		t.Add(i, i, rowAbs+1)
+	}
+	return t.ToCSC()
+}
+
+// randomSPD builds a random symmetric positive definite matrix as a grid-like
+// Laplacian plus a positive diagonal.
+func randomSPD(rng *rand.Rand, n int) *CSC {
+	t := NewTriplet(n, n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 1 + rng.Float64()
+	}
+	for k := 0; k < 3*n; k++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		g := rng.Float64()
+		t.Add(i, j, -g)
+		t.Add(j, i, -g)
+		diag[i] += g
+		diag[j] += g
+	}
+	for i := 0; i < n; i++ {
+		t.Add(i, i, diag[i])
+	}
+	return t.ToCSC()
+}
+
+func TestTripletToCSCSumsDuplicates(t *testing.T) {
+	tr := NewTriplet(3, 3)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 0, 2)
+	tr.Add(2, 1, -1)
+	tr.Add(1, 1, 4)
+	tr.Add(2, 1, 0.5)
+	m := tr.ToCSC()
+	if got := m.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %v, want 3", got)
+	}
+	if got := m.At(2, 1); got != -0.5 {
+		t.Errorf("At(2,1) = %v, want -0.5", got)
+	}
+	if got := m.At(1, 1); got != 4 {
+		t.Errorf("At(1,1) = %v, want 4", got)
+	}
+	if got := m.At(0, 2); got != 0 {
+		t.Errorf("At(0,2) = %v, want 0", got)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+}
+
+func TestCSCColumnsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomSparse(rng, 40, 0.2)
+	for j := 0; j < m.Cols; j++ {
+		for p := m.Colptr[j] + 1; p < m.Colptr[j+1]; p++ {
+			if m.Rowidx[p-1] >= m.Rowidx[p] {
+				t.Fatalf("column %d not strictly sorted at %d", j, p)
+			}
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomSparse(rng, 25, 0.3)
+	d := m.Dense()
+	x := make([]float64, 25)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 25)
+	m.MulVec(y, x)
+	for i := 0; i < 25; i++ {
+		var want float64
+		for j := 0; j < 25; j++ {
+			want += d[i][j] * x[j]
+		}
+		if !almostEqual(y[i], want, 1e-12) {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomSparse(rng, 30, 0.2)
+	mt := m.Transpose()
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 30)
+	y2 := make([]float64, 30)
+	m.MulVecT(y1, x)
+	mt.MulVec(y2, x)
+	for i := range y1 {
+		if !almostEqual(y1[i], y2[i], 1e-12) {
+			t.Fatalf("MulVecT[%d] = %v, Transpose().MulVec = %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomSparse(rng, 20, 0.25)
+	tt := m.Transpose().Transpose()
+	if tt.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ changed: %d -> %d", m.NNZ(), tt.NNZ())
+	}
+	for j := 0; j < m.Cols; j++ {
+		for p := m.Colptr[j]; p < m.Colptr[j+1]; p++ {
+			if tt.Rowidx[p] != m.Rowidx[p] || tt.Values[p] != m.Values[p] {
+				t.Fatalf("transpose involution mismatch at col %d", j)
+			}
+		}
+	}
+}
+
+func TestAddLinearCombination(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSparse(rng, 15, 0.3)
+	b := randomSparse(rng, 15, 0.3)
+	c := Add(2, a, -3, b)
+	da, db, dc := a.Dense(), b.Dense(), c.Dense()
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			want := 2*da[i][j] - 3*db[i][j]
+			if !almostEqual(dc[i][j], want, 1e-12) {
+				t.Fatalf("Add mismatch at (%d,%d): got %v want %v", i, j, dc[i][j], want)
+			}
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(5)
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, 5)
+	id.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("Identity.MulVec[%d] = %v", i, y[i])
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	spd := randomSPD(rng, 30)
+	if !spd.IsSymmetric(0) {
+		t.Error("randomSPD not symmetric")
+	}
+	asym := randomSparse(rng, 30, 0.2)
+	if asym.IsSymmetric(1e-14) {
+		t.Error("random matrix unexpectedly symmetric")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 0, -3)
+	tr.Add(0, 1, 2)
+	m := tr.ToCSC()
+	if got := m.OneNorm(); got != 4 {
+		t.Errorf("OneNorm = %v, want 4", got)
+	}
+	if got := m.InfNorm(); got != 3 {
+		t.Errorf("InfNorm = %v, want 3", got)
+	}
+}
+
+func TestDropZeros(t *testing.T) {
+	tr := NewTriplet(3, 3)
+	tr.Add(0, 0, 1e-20)
+	tr.Add(1, 1, 2)
+	tr.Add(2, 0, 1e-18)
+	m := tr.ToCSC().DropZeros(1e-15)
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ after DropZeros = %d, want 1", m.NNZ())
+	}
+	if m.At(1, 1) != 2 {
+		t.Errorf("surviving entry wrong")
+	}
+}
+
+func TestScaleAndClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomSparse(rng, 10, 0.3)
+	c := m.Clone()
+	c.Scale(2)
+	for p := range m.Values {
+		if !almostEqual(c.Values[p], 2*m.Values[p], 1e-15) {
+			t.Fatalf("Scale mismatch at %d", p)
+		}
+	}
+}
+
+// Property: (A+B)x == Ax + Bx for random sparse A, B and dense x.
+func TestQuickAddDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(20)
+		a := randomSparse(r, n, 0.3)
+		b := randomSparse(r, n, 0.3)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		sum := Add(1, a, 1, b)
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		tmp := make([]float64, n)
+		sum.MulVec(y1, x)
+		a.MulVec(y2, x)
+		b.MulVec(tmp, x)
+		for i := range y2 {
+			y2[i] += tmp[i]
+		}
+		for i := range y1 {
+			if !almostEqual(y1[i], y2[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomSparse(rng, 12, 0.4)
+	x := make([]float64, 12)
+	dst := make([]float64, 12)
+	want := make([]float64, 12)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		dst[i] = rng.NormFloat64()
+		want[i] = dst[i]
+	}
+	tmp := make([]float64, 12)
+	m.MulVec(tmp, x)
+	for i := range want {
+		want[i] += 2.5 * tmp[i]
+	}
+	m.MulVecAdd(dst, 2.5, x)
+	for i := range dst {
+		if !almostEqual(dst[i], want[i], 1e-12) {
+			t.Fatalf("MulVecAdd[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Identity(3).At(3, 0)
+}

@@ -1,0 +1,12 @@
+// Package sparse implements the sparse linear algebra substrate used by the
+// MATEX transient simulator: compressed sparse column (CSC) matrices, a
+// triplet builder, fill-reducing orderings (reverse Cuthill-McKee and
+// minimum degree), a left-looking sparse LU factorization with partial
+// pivoting (Gilbert-Peierls), and an LDL^T factorization for symmetric
+// systems.
+//
+// The package is self-contained (standard library only) and plays the role
+// UMFPACK plays in the original MATEX implementation: one factorization at
+// the beginning of a transient run, then pairs of forward and backward
+// substitutions for every Krylov vector or trapezoidal step.
+package sparse

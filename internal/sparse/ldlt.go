@@ -1,0 +1,217 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// LDLT holds a sparse LDLᵀ factorization P·A·Pᵀ = L·D·Lᵀ of a symmetric
+// matrix, computed without pivoting (suitable for symmetric positive or
+// negative definite systems such as the conductance matrices of RC power
+// grids with collapsed supplies).
+type LDLT struct {
+	n int
+	l *CSC      // unit lower triangular, diagonal not stored
+	d []float64 // diagonal of D
+	p []int     // column k of the factorization is column p[k] of A
+}
+
+// N returns the dimension of the factored matrix.
+func (f *LDLT) N() int { return f.n }
+
+// L returns the unit lower triangular factor (unit diagonal not stored).
+func (f *LDLT) L() *CSC { return f.l }
+
+// D returns the diagonal of D.
+func (f *LDLT) D() []float64 { return f.d }
+
+// Perm returns the symmetric permutation: column k of the factorization is
+// column p[k] of A.
+func (f *LDLT) Perm() []int { return f.p }
+
+// NNZ returns the number of stored entries in L plus D.
+func (f *LDLT) NNZ() int { return f.l.NNZ() + f.n }
+
+// EliminationTree computes the elimination tree of a symmetric matrix from
+// its upper triangle. parent[k] == -1 marks a root.
+func EliminationTree(a *CSC) []int {
+	n := a.Cols
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		ancestor[k] = -1
+		for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+			i := a.Rowidx[p]
+			for i != -1 && i < k {
+				next := ancestor[i]
+				ancestor[i] = k
+				if next == -1 {
+					parent[i] = k
+				}
+				i = next
+			}
+		}
+	}
+	return parent
+}
+
+// etreeReach computes the nonzero pattern of row k of L: the nodes reachable
+// from the entries of A(0:k, k) by walking up the elimination tree. It fills
+// xi[top:n] in topological order (descendants before ancestors) and returns
+// top. mark must be a k-stamped workspace: mark[i] == k means visited.
+func etreeReach(a *CSC, k int, parent []int, xi []int, mark []int) int {
+	n := a.Cols
+	top := n
+	mark[k] = k
+	var stack [64]int
+	for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+		i := a.Rowidx[p]
+		if i >= k {
+			continue
+		}
+		// Walk up the tree collecting the unvisited path.
+		path := stack[:0]
+		for i != -1 && mark[i] != k {
+			path = append(path, i)
+			mark[i] = k
+			i = parent[i]
+		}
+		// Push the path in reverse so xi[top:] stays topologically ordered.
+		for len(path) > 0 {
+			top--
+			xi[top] = path[len(path)-1]
+			path = path[:len(path)-1]
+		}
+	}
+	return top
+}
+
+// FactorLDLT computes the LDLᵀ factorization of the symmetric matrix a with
+// the given fill-reducing ordering. Only the structure and values of the
+// stored upper triangle of the permuted matrix are used, so a must be
+// symmetric. It returns ErrSingular when a zero pivot appears (the matrix is
+// not definite).
+func FactorLDLT(a *CSC, order Ordering) (*LDLT, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: FactorLDLT needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Cols
+	perm := Order(a, order)
+	ap := PermuteSym(a, perm)
+
+	parent := EliminationTree(ap)
+	// Dynamic per-column storage for L (rows > column index).
+	colRows := make([][]int32, n)
+	colVals := make([][]float64, n)
+	d := make([]float64, n)
+
+	y := make([]float64, n)
+	xi := make([]int, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+
+	for k := 0; k < n; k++ {
+		top := etreeReach(ap, k, parent, xi, mark)
+		// Scatter the upper part of column k and grab the diagonal.
+		dk := 0.0
+		for p := ap.Colptr[k]; p < ap.Colptr[k+1]; p++ {
+			i := ap.Rowidx[p]
+			switch {
+			case i < k:
+				y[i] = ap.Values[p]
+			case i == k:
+				dk = ap.Values[p]
+			}
+		}
+		// Up-looking elimination along the pattern (topological order).
+		for px := top; px < n; px++ {
+			i := xi[px]
+			yi := y[i]
+			y[i] = 0
+			lki := yi / d[i]
+			rows := colRows[i]
+			vals := colVals[i]
+			for t := range rows {
+				y[rows[t]] -= vals[t] * yi
+			}
+			dk -= lki * yi
+			colRows[i] = append(rows, int32(k))
+			colVals[i] = append(vals, lki)
+		}
+		if dk == 0 || math.IsNaN(dk) {
+			return nil, fmt.Errorf("%w: zero pivot at column %d in LDLT", ErrSingular, k)
+		}
+		d[k] = dk
+	}
+
+	// Compress L into CSC (diagonal implied).
+	nnz := 0
+	for _, r := range colRows {
+		nnz += len(r)
+	}
+	colptr := make([]int, n+1)
+	rowidx := make([]int, nnz)
+	values := make([]float64, nnz)
+	pos := 0
+	for j := 0; j < n; j++ {
+		colptr[j] = pos
+		for t := range colRows[j] {
+			rowidx[pos] = int(colRows[j][t])
+			values[pos] = colVals[j][t]
+			pos++
+		}
+	}
+	colptr[n] = pos
+	l := &CSC{Rows: n, Cols: n, Colptr: colptr, Rowidx: rowidx, Values: values}
+	return &LDLT{n: n, l: l, d: d, p: perm}, nil
+}
+
+// Solve computes x = A⁻¹ b, overwriting dst. dst and b may alias.
+func (f *LDLT) Solve(dst, b []float64) {
+	if len(dst) != f.n || len(b) != f.n {
+		panic("sparse: LDLT.Solve dimension mismatch")
+	}
+	work := make([]float64, f.n)
+	f.SolveWith(dst, b, work)
+}
+
+// SolveWith is Solve with a caller-provided workspace of length n.
+func (f *LDLT) SolveWith(dst, b, work []float64) {
+	if len(work) != f.n {
+		panic("sparse: LDLT.SolveWith workspace length mismatch")
+	}
+	// work = Pᵀ·b (entry k of the permuted system is entry p[k] of the original).
+	for k := 0; k < f.n; k++ {
+		work[k] = b[f.p[k]]
+	}
+	l := f.l
+	// Forward solve L·z = work (unit diagonal implied).
+	for j := 0; j < f.n; j++ {
+		xj := work[j]
+		if xj == 0 {
+			continue
+		}
+		for p := l.Colptr[j]; p < l.Colptr[j+1]; p++ {
+			work[l.Rowidx[p]] -= l.Values[p] * xj
+		}
+	}
+	// Diagonal solve.
+	for j := 0; j < f.n; j++ {
+		work[j] /= f.d[j]
+	}
+	// Backward solve Lᵀ·x = work.
+	for j := f.n - 1; j >= 0; j-- {
+		s := work[j]
+		for p := l.Colptr[j]; p < l.Colptr[j+1]; p++ {
+			s -= l.Values[p] * work[l.Rowidx[p]]
+		}
+		work[j] = s
+	}
+	// dst = P·work.
+	for k := 0; k < f.n; k++ {
+		dst[f.p[k]] = work[k]
+	}
+}

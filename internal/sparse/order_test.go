@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdersArePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, n := range []int{1, 2, 7, 40} {
+		a := randomSparse(rng, n, 0.2)
+		for _, o := range []Ordering{OrderNatural, OrderRCM, OrderMinDegree} {
+			p := Order(a, o)
+			if !IsPerm(p) {
+				t.Fatalf("order %v on n=%d is not a permutation: %v", o, n, p)
+			}
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// Build a grid Laplacian, scramble it with a random symmetric
+	// permutation, then check RCM recovers a small bandwidth.
+	a := gridLaplacian(15, 15)
+	n := a.Rows
+	rng := rand.New(rand.NewSource(31))
+	scramble := rng.Perm(n)
+	scrambled := PermuteSym(a, scramble)
+	before := Bandwidth(scrambled)
+	p := RCM(scrambled)
+	after := Bandwidth(PermuteSym(scrambled, p))
+	if after >= before {
+		t.Fatalf("RCM bandwidth %d did not improve on scrambled %d", after, before)
+	}
+	if after > 40 {
+		t.Errorf("RCM bandwidth %d unexpectedly large for 15x15 grid", after)
+	}
+}
+
+func TestMinDegreeReducesFill(t *testing.T) {
+	// On a star graph, natural order starting from the hub creates dense
+	// fill; minimum degree eliminates leaves first, producing none.
+	n := 30
+	tr := NewTriplet(n, n)
+	tr.Add(0, 0, float64(n))
+	for i := 1; i < n; i++ {
+		tr.Add(i, i, 2)
+		tr.Add(0, i, -1)
+		tr.Add(i, 0, -1)
+	}
+	a := tr.ToCSC()
+	p := MinDegree(a)
+	// Leaves are eliminated first; the hub can only appear among the last
+	// two (it ties with the final leaf at degree 1).
+	if p[len(p)-1] != 0 && p[len(p)-2] != 0 {
+		t.Errorf("minimum degree should eliminate the hub near-last, order ends with %v", p[len(p)-2:])
+	}
+	fHub, err := FactorLDLT(a, OrderMinDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L for leaf-first elimination has exactly n-1 off-diagonal entries.
+	if got := fHub.L().NNZ(); got != n-1 {
+		t.Errorf("mindeg L nnz = %d, want %d (no fill on star graph)", got, n-1)
+	}
+}
+
+func TestOrderingStrings(t *testing.T) {
+	if OrderNatural.String() != "natural" || OrderRCM.String() != "rcm" || OrderMinDegree.String() != "mindeg" {
+		t.Error("Ordering.String values changed")
+	}
+	if Ordering(99).String() != "unknown" {
+		t.Error("unknown ordering string")
+	}
+}
+
+func TestPermHelpers(t *testing.T) {
+	p := []int{2, 0, 1}
+	pinv := InversePerm(p)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if pinv[i] != want[i] {
+			t.Fatalf("InversePerm = %v, want %v", pinv, want)
+		}
+	}
+	x := []float64{10, 20, 30}
+	y := make([]float64, 3)
+	PermVec(y, x, p)
+	if y[0] != 30 || y[1] != 10 || y[2] != 20 {
+		t.Fatalf("PermVec = %v", y)
+	}
+	z := make([]float64, 3)
+	InvPermVec(z, y, p)
+	for i := range x {
+		if z[i] != x[i] {
+			t.Fatalf("InvPermVec did not invert PermVec: %v", z)
+		}
+	}
+	if IsPerm([]int{0, 0, 1}) {
+		t.Error("IsPerm accepted a non-permutation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("InversePerm should panic on non-permutation")
+		}
+	}()
+	InversePerm([]int{1, 1})
+}
+
+// Property: PermuteSym is similarity: eigen-invariant check via x'(PAP')x ==
+// (P'x)'A(P'x) for random vectors.
+func TestQuickPermuteSymQuadraticForm(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := randomSPD(r, n)
+		p := r.Perm(n)
+		ap := PermuteSym(a, p)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		// y = A(p,p) acting on x equals picking rows/cols of A.
+		ax := make([]float64, n)
+		ap.MulVec(ax, x)
+		var q1 float64
+		for i := range x {
+			q1 += x[i] * ax[i]
+		}
+		// Map x back: z[p[k]] = x[k].
+		z := make([]float64, n)
+		for k, v := range p {
+			z[v] = x[k]
+		}
+		az := make([]float64, n)
+		a.MulVec(az, z)
+		var q2 float64
+		for i := range z {
+			q2 += z[i] * az[i]
+		}
+		return almostEqual(q1, q2, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(32))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package sparse
+
+// InversePerm returns pinv with pinv[p[k]] = k. It panics if p is not a
+// permutation of 0..len(p)-1.
+func InversePerm(p []int) []int {
+	pinv := make([]int, len(p))
+	for i := range pinv {
+		pinv[i] = -1
+	}
+	for k, v := range p {
+		if v < 0 || v >= len(p) || pinv[v] != -1 {
+			panic("sparse: not a permutation")
+		}
+		pinv[v] = k
+	}
+	return pinv
+}
+
+// IsPerm reports whether p is a permutation of 0..len(p)-1.
+func IsPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// PermVec computes dst[k] = x[p[k]].
+func PermVec(dst, x []float64, p []int) {
+	for k, v := range p {
+		dst[k] = x[v]
+	}
+}
+
+// InvPermVec computes dst[p[k]] = x[k].
+func InvPermVec(dst, x []float64, p []int) {
+	for k, v := range p {
+		dst[v] = x[k]
+	}
+}
+
+// PermuteSym returns B = A(p, p) for a square matrix A: row and column k of B
+// is row and column p[k] of A.
+func PermuteSym(a *CSC, p []int) *CSC {
+	if a.Rows != a.Cols || len(p) != a.Cols {
+		panic("sparse: PermuteSym needs a square matrix and matching permutation")
+	}
+	pinv := InversePerm(p)
+	t := NewTriplet(a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		nj := pinv[j]
+		for q := a.Colptr[j]; q < a.Colptr[j+1]; q++ {
+			t.Add(pinv[a.Rowidx[q]], nj, a.Values[q])
+		}
+	}
+	return t.ToCSC()
+}
+
+// symPattern returns the adjacency structure of A + Aᵀ without the diagonal,
+// as per-node neighbor lists. Used by the ordering routines.
+func symPattern(a *CSC) [][]int {
+	n := a.Cols
+	adj := make([][]int, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	// First pass: collect column pattern (j's neighbors below and above).
+	at := a.Transpose()
+	for j := 0; j < n; j++ {
+		for _, src := range []*CSC{a, at} {
+			for p := src.Colptr[j]; p < src.Colptr[j+1]; p++ {
+				i := src.Rowidx[p]
+				if i != j && mark[i] != j {
+					mark[i] = j
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+	}
+	return adj
+}

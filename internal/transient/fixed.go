@@ -1,0 +1,131 @@
+package transient
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/sparse"
+)
+
+// simulateFixed runs TR, BE or FE with a fixed step and a single
+// factorization (the TAU-contest framework the paper compares against).
+func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Step <= 0 || opts.Tstop <= 0 {
+		return nil, fmt.Errorf("transient: fixed-step method needs positive Step and Tstop")
+	}
+	res := &Result{}
+	x, _, err := initialState(sys, opts, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	h := opts.Step
+	n := sys.N
+
+	tFac := time.Now()
+	var lhs sparse.Factorization
+	var rhsMat *sparse.CSC // multiplies x in the step right-hand side
+	switch method {
+	case TRFixed:
+		a, err := sparse.Factor(sparse.Add(1/h, sys.C, 0.5, sys.G), opts.FactorKind, opts.Ordering)
+		if err != nil {
+			return nil, fmt.Errorf("transient: TR factorization: %w", err)
+		}
+		lhs = a
+		rhsMat = sparse.Add(1/h, sys.C, -0.5, sys.G)
+	case BEFixed:
+		a, err := sparse.Factor(sparse.Add(1/h, sys.C, 1, sys.G), opts.FactorKind, opts.Ordering)
+		if err != nil {
+			return nil, fmt.Errorf("transient: BE factorization: %w", err)
+		}
+		lhs = a
+		rhsMat = sys.C.Clone().Scale(1 / h)
+	case FEFixed:
+		fc, err := factorC(sys, opts, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		lhs = fc
+	default:
+		return nil, fmt.Errorf("transient: simulateFixed got %v", method)
+	}
+	res.Stats.Factorizations++
+	res.Stats.FactorTime = time.Since(tFac)
+
+	tTr := time.Now()
+	bu0 := make([]float64, n)
+	bu1 := make([]float64, n)
+	rhs := make([]float64, n)
+	work := make([]float64, n)
+	res.record(0, x, opts.Probes, opts.KeepFull)
+	steps := int(opts.Tstop/h + 0.5)
+	for k := 0; k < steps; k++ {
+		t := float64(k) * h
+		switch method {
+		case TRFixed:
+			sys.EvalB(t, bu0, opts.ActiveInputs)
+			sys.EvalB(t+h, bu1, opts.ActiveInputs)
+			rhsMat.MulVec(rhs, x)
+			res.Stats.SpMVs++
+			for i := range rhs {
+				rhs[i] += 0.5 * (bu0[i] + bu1[i])
+			}
+			lhs.SolveWith(x, rhs, work)
+			res.Stats.SolvePairs++
+		case BEFixed:
+			sys.EvalB(t+h, bu1, opts.ActiveInputs)
+			rhsMat.MulVec(rhs, x)
+			res.Stats.SpMVs++
+			for i := range rhs {
+				rhs[i] += bu1[i]
+			}
+			lhs.SolveWith(x, rhs, work)
+			res.Stats.SolvePairs++
+		case FEFixed:
+			// x' = C⁻¹(-Gx + Bu): one SpMV plus one substitution pair.
+			sys.EvalB(t, bu0, opts.ActiveInputs)
+			sys.G.MulVec(rhs, x)
+			res.Stats.SpMVs++
+			for i := range rhs {
+				rhs[i] = bu0[i] - rhs[i]
+			}
+			lhs.SolveWith(rhs, rhs, work)
+			res.Stats.SolvePairs++
+			for i := range x {
+				x[i] += h * rhs[i]
+			}
+		}
+		res.Stats.Steps++
+		res.record(t+h, x, opts.Probes, opts.KeepFull)
+	}
+	res.Stats.TransientTime = time.Since(tTr)
+	res.Final = append([]float64(nil), x...)
+	return res, nil
+}
+
+// factorC factorizes C, regularizing a singular C with a small diagonal
+// shift (the concession MEXP needs; paper Sec. 3.3.3).
+func factorC(sys *circuit.System, opts Options, stats *Stats) (sparse.Factorization, error) {
+	fc, err := sparse.Factor(sys.C, opts.FactorKind, opts.Ordering)
+	if err == nil {
+		stats.Factorizations++
+		return fc, nil
+	}
+	if !errors.Is(err, sparse.ErrSingular) {
+		return nil, fmt.Errorf("transient: factorizing C: %w", err)
+	}
+	delta := 1e-9 * sys.C.OneNorm()
+	if delta == 0 {
+		delta = 1e-18
+	}
+	reg := sparse.Add(1, sys.C, delta, sparse.Identity(sys.N))
+	fc, err = sparse.Factor(reg, opts.FactorKind, opts.Ordering)
+	if err != nil {
+		return nil, fmt.Errorf("transient: regularized C still singular: %w", err)
+	}
+	stats.Factorizations++
+	stats.Regularized = true
+	return fc, nil
+}

@@ -1,0 +1,142 @@
+package transient
+
+import (
+	"math"
+	"testing"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// TestSeriesRLCUnderdamped validates inductor branch dynamics end to end:
+// a step-driven series RLC rings at ω_d = sqrt(1/LC - (R/2L)²) with decay
+// α = R/2L. The MNA system here is unsymmetric (inductor current unknown),
+// exercising the LU path of the factorizations.
+func TestSeriesRLCUnderdamped(t *testing.T) {
+	r, l, c := 2.0, 1e-9, 1e-12 // alpha = 1e9, omega0² = 1e21 -> underdamped
+	alpha := r / (2 * l)
+	omega0sq := 1 / (l * c)
+	omegad := math.Sqrt(omega0sq - alpha*alpha)
+
+	ckt := circuit.New("series rlc")
+	ckt.AddV("vs", "in", "0", waveform.DC(1))
+	if err := ckt.AddR("r1", "in", "m", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.AddL("l1", "m", "out", l); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.AddC("c1", "out", "0", c); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := circuit.Stamp(ckt, circuit.StampOptions{CollapseSupplies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, _, err := sys.NodeIndex("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analytic step response of the capacitor voltage from zero state:
+	// v(t) = 1 - e^{-αt}(cos ω_d t + (α/ω_d) sin ω_d t).
+	analytic := func(tt float64) float64 {
+		e := math.Exp(-alpha * tt)
+		return 1 - e*(math.Cos(omegad*tt)+alpha/omegad*math.Sin(omegad*tt))
+	}
+
+	tstop := 2e-9 // several ring periods
+	evals := make([]float64, 0, 41)
+	for i := 0; i <= 40; i++ {
+		evals = append(evals, float64(i)*tstop/40)
+	}
+	zero := make([]float64, sys.N)
+	for _, m := range []Method{RMATEX, MEXP} {
+		res, err := Simulate(sys, m, Options{
+			Tstop: tstop, Probes: []int{idx}, EvalTimes: evals,
+			Tol: 1e-9, Gamma: 1e-11, InitialState: zero,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for i, tt := range res.Times {
+			want := analytic(tt)
+			if got := res.Probes[i][0]; math.Abs(got-want) > 2e-3 {
+				t.Fatalf("%v: v(%g) = %v, want %v", m, tt, got, want)
+			}
+		}
+	}
+	// The trapezoidal baseline agrees too (cross-check of the stamping).
+	res, err := Simulate(sys, TRFixed, Options{
+		Tstop: tstop, Step: 1e-13, Probes: []int{idx}, InitialState: zero,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(res.Times); i += 100 {
+		tt := res.Times[i]
+		if got, want := res.Probes[i][0], analytic(tt); math.Abs(got-want) > 2e-3 {
+			t.Fatalf("TR: v(%g) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+// TestRLCPackageGridRings checks that a grid with package inductance keeps
+// working through the whole MATEX flow (unsymmetric MNA, V-source rails
+// behind RL, distributed-style eval grid).
+func TestRLCPackageGridRings(t *testing.T) {
+	ckt := circuit.New("pkg grid")
+	ckt.AddV("vdd", "pad", "0", waveform.DC(1.0))
+	if err := ckt.AddR("rp", "pad", "mid", 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.AddL("lp", "mid", "grid", 0.5e-9); err != nil {
+		t.Fatal(err)
+	}
+	for i, rc := range []struct {
+		a, b string
+		r    float64
+	}{{"grid", "n1", 0.5}, {"n1", "n2", 0.5}, {"n2", "n3", 0.5}} {
+		if err := ckt.AddR("r"+rc.a, rc.a, rc.b, rc.r); err != nil {
+			t.Fatal(err)
+		}
+		if err := ckt.AddC("c"+rc.b, rc.b, "0", 2e-12); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	ckt.AddI("load", "n3", "0", &waveform.Pulse{V1: 0, V2: 20e-3, Delay: 1e-9, Rise: 0.2e-9, Width: 2e-9, Fall: 0.2e-9})
+	sys, err := circuit.Stamp(ckt, circuit.StampOptions{CollapseSupplies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, _, err := sys.NodeIndex("n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Simulate(sys, TRFixed, Options{Tstop: 10e-9, Step: 1e-12, Probes: []int{idx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sys, RMATEX, Options{Tstop: 10e-9, Probes: []int{idx}, Tol: 1e-8, Gamma: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr, maxDroop float64
+	for i, tt := range res.Times {
+		got := res.Probes[i][0]
+		if d := math.Abs(got - ref.InterpProbe(tt, 0)); d > maxErr {
+			maxErr = d
+		}
+		if droop := 1.0 - got; droop > maxDroop {
+			maxDroop = droop
+		}
+	}
+	if maxErr > 2e-3 {
+		t.Errorf("R-MATEX vs TR deviation %g on RLC grid", maxErr)
+	}
+	// The package inductance must produce real droop (di/dt noise).
+	if maxDroop < 20e-3*1.0 {
+		t.Errorf("droop %g suspiciously small; inductor path inert?", maxDroop)
+	}
+}

@@ -1,0 +1,299 @@
+// Package transient implements the time-domain integrators compared in the
+// MATEX paper, over the MNA systems assembled by package circuit:
+//
+//   - forward Euler, backward Euler and trapezoidal (TR) with a fixed step
+//     and a single up-front factorization (the 2012 TAU power-grid contest
+//     framework the paper benchmarks against),
+//   - TR with adaptive local-truncation-error stepping, which must
+//     re-factorize whenever the step changes,
+//   - the MATEX circuit solver (paper Alg. 2): matrix-exponential stepping
+//     with standard (MEXP), inverted (I-MATEX) or rational (R-MATEX) Krylov
+//     subspaces, adaptive steps between input transition spots, and
+//     substitution-free snapshot evaluation by Krylov subspace reuse.
+//
+// Every solver reports a Stats block with the work counters the paper's
+// complexity model (Eqs. 11-12) is built from.
+package transient
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/krylov"
+	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// Method selects an integrator.
+type Method int
+
+const (
+	// TRFixed is trapezoidal with fixed step, one factorization.
+	TRFixed Method = iota
+	// BEFixed is backward Euler with fixed step, one factorization.
+	BEFixed
+	// FEFixed is forward Euler (explicit); it factorizes C once. Unstable
+	// for steps above the fastest time constant — included as the paper's
+	// stiffness motivation.
+	FEFixed
+	// TRAdaptive is trapezoidal with LTE-controlled steps; every step-size
+	// change re-factorizes (C/h + G/2).
+	TRAdaptive
+	// MEXP is the matrix-exponential solver with the standard Krylov
+	// subspace (factorizes C; needs regularization when C is singular).
+	MEXP
+	// IMATEX uses the inverted Krylov subspace (reuses the DC factorization
+	// of G; regularization-free).
+	IMATEX
+	// RMATEX uses the rational (shift-and-invert) Krylov subspace
+	// (factorizes C + γG; regularization-free).
+	RMATEX
+)
+
+func (m Method) String() string {
+	switch m {
+	case TRFixed:
+		return "TR"
+	case BEFixed:
+		return "BE"
+	case FEFixed:
+		return "FE"
+	case TRAdaptive:
+		return "TR(adpt)"
+	case MEXP:
+		return "MEXP"
+	case IMATEX:
+		return "I-MATEX"
+	case RMATEX:
+		return "R-MATEX"
+	}
+	return "unknown"
+}
+
+// Options configures a transient run.
+type Options struct {
+	// Tstop is the end of the simulation window (start is 0).
+	Tstop float64
+	// Step is the fixed step (TR/BE/FE) or the initial step (TRAdaptive).
+	Step float64
+	// Probes lists unknown indices recorded at every output time.
+	Probes []int
+	// KeepFull additionally records the full state at every output time
+	// (needed by the distributed superposition).
+	KeepFull bool
+	// EvalTimes are the output times for the MATEX solvers; nil defaults to
+	// the system's global transition spots. Fixed-step methods output at
+	// every step regardless.
+	EvalTimes []float64
+	// Tol is the Krylov error budget ε (MATEX methods, default 1e-6) or the
+	// relative LTE target (TRAdaptive, default 1e-4).
+	Tol float64
+	// Gamma is the rational shift γ for R-MATEX; the default 1e-10 sits at
+	// the order of the step sizes, as the paper prescribes.
+	Gamma float64
+	// MaxDim caps the Krylov dimension; default 256.
+	MaxDim int
+	// MaxStep, when positive, caps the MATEX segment length so that a new
+	// Krylov subspace is generated at least every MaxStep seconds. The
+	// standard (MEXP) subspace needs this on stiff systems, where its
+	// accuracy degrades as h·‖A‖ grows; the spectral-transform subspaces
+	// are generally run without it (reuse across whole segments is their
+	// feature).
+	MaxStep float64
+	// FactorKind and Ordering select the sparse direct solver configuration.
+	FactorKind sparse.FactorKind
+	Ordering   sparse.Ordering
+	// ActiveInputs masks the system inputs (nil = all active); the
+	// distributed scheduler uses it to give each subtask one source group.
+	ActiveInputs []bool
+	// InitialState overrides the DC operating point as x(0).
+	InitialState []float64
+	// PreG, when non-nil, is a shared factorization of G; PreShift one of
+	// (C + Gamma·G). The in-process scheduler computes them once and hands
+	// them to every subtask, since all subtasks share the same matrices.
+	// They do not travel over RPC (remote workers factorize their own
+	// local copy, like the paper's cluster nodes).
+	PreG     sparse.Factorization `json:"-"`
+	PreShift sparse.Factorization `json:"-"`
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 1e-10
+	}
+	if o.MaxDim <= 0 {
+		o.MaxDim = 256
+	}
+	if o.Ordering == sparse.OrderNatural {
+		o.Ordering = sparse.OrderRCM
+	}
+	return o
+}
+
+// Stats reports the work performed by a solver, matching the cost terms of
+// the paper's complexity model.
+type Stats struct {
+	Factorizations int
+	SolvePairs     int // forward+backward substitution pairs (T_bs)
+	SpMVs          int
+	ExpmEvals      int // small matrix exponential evaluations (T_H)
+	KrylovDims     []int
+	Steps          int
+	Rejected       int
+	Regularized    bool // MEXP had to regularize a singular C
+	DCTime         time.Duration
+	FactorTime     time.Duration
+	TransientTime  time.Duration
+}
+
+// MA returns the average generated Krylov dimension (paper's m_a).
+func (s *Stats) MA() float64 {
+	if len(s.KrylovDims) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, d := range s.KrylovDims {
+		sum += d
+	}
+	return float64(sum) / float64(len(s.KrylovDims))
+}
+
+// MP returns the peak generated Krylov dimension (paper's m_p).
+func (s *Stats) MP() int {
+	p := 0
+	for _, d := range s.KrylovDims {
+		if d > p {
+			p = d
+		}
+	}
+	return p
+}
+
+// addCounters folds Krylov counters into the stats.
+func (s *Stats) addCounters(c *krylov.Counters) {
+	s.SolvePairs += c.SolvePairs
+	s.SpMVs += c.SpMVs
+	s.ExpmEvals += c.ExpmEvals
+	s.KrylovDims = append(s.KrylovDims, c.Dims...)
+}
+
+// Result is a transient solution trace.
+type Result struct {
+	Times  []float64
+	Probes [][]float64 // len(Times) rows of len(Options.Probes)
+	Full   [][]float64 // full states when Options.KeepFull
+	Final  []float64
+	Stats  Stats
+}
+
+// record appends an output sample.
+func (r *Result) record(t float64, x []float64, probes []int, keepFull bool) {
+	r.Times = append(r.Times, t)
+	if len(probes) > 0 {
+		row := make([]float64, len(probes))
+		for i, p := range probes {
+			row[i] = x[p]
+		}
+		r.Probes = append(r.Probes, row)
+	}
+	if keepFull {
+		r.Full = append(r.Full, append([]float64(nil), x...))
+	}
+}
+
+// ProbeSeries extracts the trace of probe column k.
+func (r *Result) ProbeSeries(k int) []float64 {
+	out := make([]float64, len(r.Times))
+	for i := range r.Times {
+		out[i] = r.Probes[i][k]
+	}
+	return out
+}
+
+// InterpProbe linearly interpolates probe column k at time t.
+func (r *Result) InterpProbe(t float64, k int) float64 {
+	n := len(r.Times)
+	if n == 0 {
+		return math.NaN()
+	}
+	if t <= r.Times[0] {
+		return r.Probes[0][k]
+	}
+	if t >= r.Times[n-1] {
+		return r.Probes[n-1][k]
+	}
+	i := sort.SearchFloat64s(r.Times, t)
+	t0, t1 := r.Times[i-1], r.Times[i]
+	v0, v1 := r.Probes[i-1][k], r.Probes[i][k]
+	if t1 == t0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Simulate dispatches to the selected integrator.
+func Simulate(sys *circuit.System, method Method, opts Options) (*Result, error) {
+	switch method {
+	case TRFixed, BEFixed, FEFixed:
+		return simulateFixed(sys, method, opts)
+	case TRAdaptive:
+		return simulateAdaptiveTR(sys, opts)
+	case MEXP, IMATEX, RMATEX:
+		return SimulateMatex(sys, method, opts)
+	default:
+		return nil, fmt.Errorf("transient: unknown method %d", method)
+	}
+}
+
+// initialState resolves x(0): the caller-provided state or the DC operating
+// point. It returns the state, the factorization of G (reused by the MATEX
+// input terms), and updates stats.
+func initialState(sys *circuit.System, opts Options, stats *Stats) ([]float64, sparse.Factorization, error) {
+	t0 := time.Now()
+	defer func() { stats.DCTime += time.Since(t0) }()
+	factG := func() (sparse.Factorization, error) {
+		if opts.PreG != nil {
+			return opts.PreG, nil
+		}
+		fg, err := sparse.Factor(sys.G, opts.FactorKind, opts.Ordering)
+		if err != nil {
+			return nil, fmt.Errorf("transient: factorizing G: %w", err)
+		}
+		stats.Factorizations++
+		return fg, nil
+	}
+	if opts.InitialState != nil {
+		if len(opts.InitialState) != sys.N {
+			return nil, nil, fmt.Errorf("transient: initial state length %d != %d", len(opts.InitialState), sys.N)
+		}
+		fg, err := factG()
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]float64(nil), opts.InitialState...), fg, nil
+	}
+	fg, err := factG()
+	if err != nil {
+		return nil, nil, err
+	}
+	b := make([]float64, sys.N)
+	sys.EvalB(0, b, opts.ActiveInputs)
+	x := make([]float64, sys.N)
+	fg.Solve(x, b)
+	stats.SolvePairs++
+	return x, fg, nil
+}
+
+// evalGrid builds the sorted output grid for the MATEX solvers.
+func evalGrid(sys *circuit.System, opts Options) []float64 {
+	if len(opts.EvalTimes) > 0 {
+		return waveform.MergeSpots(opts.EvalTimes, opts.Tstop, waveform.SpotEps, true)
+	}
+	return sys.GTS(opts.Tstop)
+}

@@ -1,0 +1,125 @@
+package waveform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BumpFeature identifies the shape of a pulse "bump" (paper Fig. 3): sources
+// whose bumps share (t_delay, t_rise, t_fall, t_width, t_period) transition
+// at the same local spots, so simulating them together costs no extra Krylov
+// subspace generations.
+type BumpFeature struct {
+	Delay, Rise, Width, Fall, Period float64
+}
+
+// FeatureOf extracts the bump feature of a waveform. The second return is
+// false for waveforms without a pulse feature (DC, generic PWL); those are
+// grouped by their full transition signature instead.
+func FeatureOf(w Waveform) (BumpFeature, bool) {
+	switch s := w.(type) {
+	case *Pulse:
+		return BumpFeature{Delay: s.Delay, Rise: s.Rise, Width: s.Width, Fall: s.Fall, Period: s.Period}, true
+	case Scaled:
+		return FeatureOf(s.W)
+	case Shifted:
+		f, ok := FeatureOf(s.W)
+		if ok {
+			f.Delay += s.Offset
+		}
+		return f, ok
+	default:
+		return BumpFeature{}, false
+	}
+}
+
+// signature builds a grouping key for non-pulse waveforms from their
+// transition spots, so that e.g. identical PWL shapes still share a group.
+func signature(w Waveform, tstop float64) string {
+	spots := LTS(w, tstop)
+	return fmt.Sprintf("%v", spots)
+}
+
+// Group assigns each waveform to a group of identical transition structure.
+// It returns, for each group, the member indices. Deterministic: groups are
+// ordered by first appearance.
+func Group(ws []Waveform, tstop float64) [][]int {
+	type key struct {
+		feat BumpFeature
+		sig  string
+	}
+	index := make(map[key]int)
+	var groups [][]int
+	for i, w := range ws {
+		var k key
+		if f, ok := FeatureOf(w); ok {
+			k = key{feat: f}
+		} else {
+			k = key{sig: signature(w, tstop)}
+		}
+		g, ok := index[k]
+		if !ok {
+			g = len(groups)
+			index[k] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
+
+// GroupLTS returns the union of the LTS of the group members.
+func GroupLTS(ws []Waveform, members []int, tstop float64) []float64 {
+	var all []float64
+	for _, i := range members {
+		all = ws[i].Transitions(all, tstop)
+	}
+	return MergeSpots(all, tstop, SpotEps, true)
+}
+
+// SplitPeriodic decomposes a periodic pulse into its individual bumps, each a
+// single-shot pulse, so the "more aggressive" decomposition of the paper's
+// Sec. 3.1 can group same-shape bumps from different sources. Bumps beyond
+// tstop are discarded.
+func SplitPeriodic(p *Pulse, tstop float64) []*Pulse {
+	if p.Period <= 0 {
+		return []*Pulse{p}
+	}
+	var bumps []*Pulse
+	for start := p.Delay; start <= tstop; start += p.Period {
+		bumps = append(bumps, &Pulse{
+			V1: p.V1, V2: p.V2,
+			Delay: start, Rise: p.Rise, Width: p.Width, Fall: p.Fall,
+		})
+	}
+	return bumps
+}
+
+// SortedFeatures lists the distinct bump features among the waveforms in a
+// stable order, for reporting (the paper's "Group #").
+func SortedFeatures(ws []Waveform) []BumpFeature {
+	seen := make(map[BumpFeature]bool)
+	var feats []BumpFeature
+	for _, w := range ws {
+		if f, ok := FeatureOf(w); ok && !seen[f] {
+			seen[f] = true
+			feats = append(feats, f)
+		}
+	}
+	sort.Slice(feats, func(i, j int) bool {
+		a, b := feats[i], feats[j]
+		switch {
+		case a.Delay != b.Delay:
+			return a.Delay < b.Delay
+		case a.Rise != b.Rise:
+			return a.Rise < b.Rise
+		case a.Width != b.Width:
+			return a.Width < b.Width
+		case a.Fall != b.Fall:
+			return a.Fall < b.Fall
+		default:
+			return a.Period < b.Period
+		}
+	})
+	return feats
+}

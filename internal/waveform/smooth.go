@@ -1,0 +1,125 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Smooth sources (SIN, EXP) are not piecewise linear, so they cannot be
+// integrated exactly by the matrix-exponential step. They satisfy the
+// Waveform contract by densifying their transition spots: between two
+// consecutive spots the source is treated as linear, which bounds the local
+// input-model error the same way SPICE breakpointing does. The spot density
+// is chosen from the source's own characteristic time.
+
+// Sin is a SPICE SIN(vo va freq td theta) source: offset VO, amplitude VA,
+// frequency Freq, delay Delay and damping Theta.
+type Sin struct {
+	VO, VA float64
+	Freq   float64
+	Delay  float64
+	Theta  float64
+	// SpotsPerPeriod controls the transition densification (default 32).
+	SpotsPerPeriod int
+}
+
+// Validate checks the source parameters.
+func (s *Sin) Validate() error {
+	if s.Freq <= 0 {
+		return fmt.Errorf("waveform: SIN needs positive frequency, got %g", s.Freq)
+	}
+	if s.Delay < 0 || s.Theta < 0 {
+		return fmt.Errorf("waveform: SIN with negative delay or damping")
+	}
+	return nil
+}
+
+// Value implements Waveform.
+func (s *Sin) Value(t float64) float64 {
+	if t < s.Delay {
+		return s.VO
+	}
+	tt := t - s.Delay
+	v := s.VA * math.Sin(2*math.Pi*s.Freq*tt)
+	if s.Theta > 0 {
+		v *= math.Exp(-tt * s.Theta)
+	}
+	return s.VO + v
+}
+
+// Transitions implements Waveform by sampling SpotsPerPeriod points per
+// period from the delay to tstop.
+func (s *Sin) Transitions(dst []float64, tstop float64) []float64 {
+	if s.Freq <= 0 {
+		return dst
+	}
+	spp := s.SpotsPerPeriod
+	if spp <= 0 {
+		spp = 32
+	}
+	step := 1 / (s.Freq * float64(spp))
+	if s.Delay > 0 && s.Delay <= tstop {
+		dst = append(dst, s.Delay)
+	}
+	for t := s.Delay; t <= tstop; t += step {
+		dst = append(dst, t)
+	}
+	return dst
+}
+
+// Exp is a SPICE EXP(v1 v2 td1 tau1 td2 tau2) source: rise from V1 toward
+// V2 starting at TD1 with time constant Tau1, then decay back toward V1
+// starting at TD2 with time constant Tau2.
+type Exp struct {
+	V1, V2      float64
+	TD1, Tau1   float64
+	TD2, Tau2   float64
+	SpotsPerTau int // transition densification (default 16 per tau)
+}
+
+// Validate checks the source parameters.
+func (e *Exp) Validate() error {
+	if e.Tau1 <= 0 || e.Tau2 <= 0 {
+		return fmt.Errorf("waveform: EXP needs positive time constants")
+	}
+	if e.TD2 < e.TD1 {
+		return fmt.Errorf("waveform: EXP decay must start after the rise (td2 %g < td1 %g)", e.TD2, e.TD1)
+	}
+	return nil
+}
+
+// Value implements Waveform (standard SPICE EXP semantics).
+func (e *Exp) Value(t float64) float64 {
+	v := e.V1
+	if t >= e.TD1 {
+		v += (e.V2 - e.V1) * (1 - math.Exp(-(t-e.TD1)/e.Tau1))
+	}
+	if t >= e.TD2 {
+		v += (e.V1 - e.V2) * (1 - math.Exp(-(t-e.TD2)/e.Tau2))
+	}
+	return v
+}
+
+// Transitions implements Waveform: spots every tau/SpotsPerTau over the
+// active intervals (about eight time constants each).
+func (e *Exp) Transitions(dst []float64, tstop float64) []float64 {
+	spt := e.SpotsPerTau
+	if spt <= 0 {
+		spt = 16
+	}
+	emit := func(start, tau float64) []float64 {
+		if start > tstop {
+			return dst
+		}
+		dst = append(dst, start)
+		step := tau / float64(spt)
+		end := math.Min(start+8*tau, tstop)
+		for t := start; t <= end; t += step {
+			dst = append(dst, t)
+		}
+		return dst
+	}
+	dst = emit(e.TD1, e.Tau1)
+	dst = emit(e.TD2, e.Tau2)
+	return dst
+}

@@ -1,0 +1,87 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSinValue(t *testing.T) {
+	s := &Sin{VO: 1, VA: 0.5, Freq: 1e9, Delay: 1e-9}
+	if s.Value(0.5e-9) != 1 {
+		t.Error("before delay should be VO")
+	}
+	// Quarter period after delay: VO + VA.
+	if got := s.Value(1e-9 + 0.25e-9); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("quarter period = %v, want 1.5", got)
+	}
+	// Damped: amplitude shrinks.
+	d := &Sin{VA: 1, Freq: 1e9, Theta: 1e9}
+	peak1 := d.Value(0.25e-9)
+	peak2 := d.Value(1.25e-9)
+	if math.Abs(peak2) >= math.Abs(peak1) {
+		t.Errorf("damping failed: %v then %v", peak1, peak2)
+	}
+}
+
+func TestSinValidateAndTransitions(t *testing.T) {
+	if err := (&Sin{Freq: 0}).Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if err := (&Sin{Freq: 1, Delay: -1}).Validate(); err == nil {
+		t.Error("negative delay accepted")
+	}
+	s := &Sin{VA: 1, Freq: 1e9, SpotsPerPeriod: 8}
+	spots := MergeSpots(s.Transitions(nil, 2e-9), 2e-9, 0, false)
+	// Two periods at 8 spots each.
+	if len(spots) < 15 || len(spots) > 18 {
+		t.Errorf("spot count %d, want about 16", len(spots))
+	}
+}
+
+func TestExpValue(t *testing.T) {
+	e := &Exp{V1: 0, V2: 2, TD1: 1e-9, Tau1: 1e-10, TD2: 5e-9, Tau2: 2e-10}
+	if e.Value(0.5e-9) != 0 {
+		t.Error("before td1 should be V1")
+	}
+	// Far into the rise: ~V2.
+	if got := e.Value(4e-9); math.Abs(got-2) > 1e-6 {
+		t.Errorf("plateau = %v, want 2", got)
+	}
+	// Far into the decay: back to ~V1.
+	if got := e.Value(20e-9); math.Abs(got) > 1e-6 {
+		t.Errorf("decayed = %v, want 0", got)
+	}
+	// One tau into the rise: V2*(1-1/e).
+	want := 2 * (1 - math.Exp(-1))
+	if got := e.Value(1.1e-9); math.Abs(got-want) > 1e-12 {
+		t.Errorf("one tau = %v, want %v", got, want)
+	}
+}
+
+func TestExpValidate(t *testing.T) {
+	if err := (&Exp{Tau1: 0, Tau2: 1}).Validate(); err == nil {
+		t.Error("zero tau accepted")
+	}
+	if err := (&Exp{Tau1: 1, Tau2: 1, TD1: 2, TD2: 1}).Validate(); err == nil {
+		t.Error("decay before rise accepted")
+	}
+}
+
+func TestSmoothPiecewiseLinearApproximation(t *testing.T) {
+	// Between densified transition spots, the linear interpolation of the
+	// smooth source must stay within a small fraction of the amplitude —
+	// that is the property the MATEX integrator relies on.
+	s := &Sin{VA: 1, Freq: 1e9}
+	spots := LTS(s, 3e-9)
+	for i := 1; i < len(spots); i++ {
+		t0, t1 := spots[i-1], spots[i]
+		if t1-t0 < 1e-15 {
+			continue
+		}
+		mid := (t0 + t1) / 2
+		lin := (s.Value(t0) + s.Value(t1)) / 2
+		if math.Abs(s.Value(mid)-lin) > 0.02 {
+			t.Fatalf("PWL error %g at t=%g (spot gap %g)", s.Value(mid)-lin, mid, t1-t0)
+		}
+	}
+}

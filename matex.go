@@ -1,0 +1,165 @@
+// Package matex is a transient simulator for power distribution networks
+// (PDNs), reproducing "MATEX: A Distributed Framework for Transient
+// Simulation of Power Distribution Networks" (Zhuang, Weng, Lin, Cheng —
+// DAC 2014).
+//
+// The simulator integrates the MNA system C·x' = -G·x + B·u(t) with matrix
+// exponential kernels evaluated in Krylov subspaces. Three subspace families
+// are provided — standard (MEXP), inverted (I-MATEX) and rational/
+// shift-and-invert (R-MATEX) — next to classic fixed-step and adaptive
+// trapezoidal/backward-Euler baselines. The distributed front end partitions
+// the input current sources by their pulse "bump" features, simulates each
+// group as an independent zero-state subtask (in-process or over TCP), and
+// superposes the results.
+//
+// Quick start:
+//
+//	spec, _ := matex.IBMCase("ibmpg1t", 1.0)
+//	ckt, _ := spec.Build()
+//	sys, _ := matex.Stamp(ckt, matex.StampOptions{CollapseSupplies: true})
+//	res, _ := matex.Simulate(sys, matex.RMATEX, matex.Options{Tstop: 10e-9})
+//
+// See the examples directory for runnable programs and EXPERIMENTS.md for
+// the paper reproduction harness.
+package matex
+
+import (
+	"io"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/netlist"
+	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/transient"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// Circuit building and MNA assembly.
+type (
+	// Circuit is an element-level netlist (R, C, L, V, I cards).
+	Circuit = circuit.Circuit
+	// System is the assembled MNA description C·x' = -G·x + B·u(t).
+	System = circuit.System
+	// StampOptions controls MNA assembly.
+	StampOptions = circuit.StampOptions
+)
+
+// NewCircuit returns an empty circuit with a title.
+func NewCircuit(title string) *Circuit { return circuit.New(title) }
+
+// Stamp assembles the MNA system from a circuit.
+func Stamp(c *Circuit, opts StampOptions) (*System, error) { return circuit.Stamp(c, opts) }
+
+// Waveforms.
+type (
+	// Waveform is a piecewise-linear source value over time.
+	Waveform = waveform.Waveform
+	// DC is a constant source.
+	DC = waveform.DC
+	// Pulse is a SPICE-style pulse source.
+	Pulse = waveform.Pulse
+	// PWL is a piecewise-linear source through given points.
+	PWL = waveform.PWL
+)
+
+// NewPWL validates and builds a PWL waveform.
+func NewPWL(t, v []float64) (*PWL, error) { return waveform.NewPWL(t, v) }
+
+// Netlist I/O.
+type (
+	// Deck is a parsed netlist plus its analysis directives.
+	Deck = netlist.Deck
+)
+
+// ParseNetlist reads a SPICE-subset netlist (IBM power grid format).
+func ParseNetlist(r io.Reader) (*Deck, error) { return netlist.Parse(r) }
+
+// WriteNetlist emits a deck in the same format.
+func WriteNetlist(w io.Writer, d *Deck) error { return netlist.Write(w, d) }
+
+// Transient simulation.
+type (
+	// Method selects an integrator.
+	Method = transient.Method
+	// Options configures a transient run.
+	Options = transient.Options
+	// Result is a transient solution trace with work statistics.
+	Result = transient.Result
+	// Stats reports solver work (factorizations, substitution pairs,
+	// Krylov dimensions, phase timings).
+	Stats = transient.Stats
+)
+
+// Integrators.
+const (
+	// TRFixed is trapezoidal with fixed step and one factorization (the
+	// TAU-contest framework the paper benchmarks against).
+	TRFixed = transient.TRFixed
+	// BEFixed is backward Euler with fixed step.
+	BEFixed = transient.BEFixed
+	// FEFixed is explicit forward Euler.
+	FEFixed = transient.FEFixed
+	// TRAdaptive is trapezoidal with LTE step control (re-factorizes on
+	// every step change).
+	TRAdaptive = transient.TRAdaptive
+	// MEXP is the matrix-exponential solver on the standard Krylov subspace.
+	MEXP = transient.MEXP
+	// IMATEX uses the inverted Krylov subspace (regularization-free).
+	IMATEX = transient.IMATEX
+	// RMATEX uses the rational (shift-and-invert) Krylov subspace — the
+	// paper's best performer.
+	RMATEX = transient.RMATEX
+)
+
+// Simulate runs one integrator over the system.
+func Simulate(sys *System, method Method, opts Options) (*Result, error) {
+	return transient.Simulate(sys, method, opts)
+}
+
+// Distributed simulation.
+type (
+	// DistConfig configures a distributed MATEX run.
+	DistConfig = dist.Config
+	// DistReport carries per-node scheduling metrics.
+	DistReport = dist.Report
+	// Task is one superposition subtask.
+	Task = dist.Task
+	// WorkerServer is the net/rpc worker service (see cmd/matexd).
+	WorkerServer = dist.WorkerServer
+)
+
+// SimulateDistributed partitions the sources, fans subtasks out to workers
+// and superposes the results (the paper's Fig. 4 flow).
+func SimulateDistributed(sys *System, cfg DistConfig) (*Result, *DistReport, error) {
+	return dist.Run(sys, cfg)
+}
+
+// NewRPCPool connects to matexd workers over TCP.
+func NewRPCPool(sys *System, addrs []string) (dist.Pool, error) { return dist.NewRPCPool(sys, addrs) }
+
+// NewWorkerServer returns a worker service for use with ServeWorkers.
+func NewWorkerServer() *WorkerServer { return dist.NewWorkerServer() }
+
+// Benchmark generators.
+type (
+	// GridSpec describes a rectangular power-grid model.
+	GridSpec = pdn.GridSpec
+	// StiffMeshSpec describes the stiff RC meshes of the paper's Table 1.
+	StiffMeshSpec = pdn.StiffMeshSpec
+)
+
+// IBMCase returns the synthetic stand-in for an IBM power grid benchmark
+// ("ibmpg1t" … "ibmpg6t"); scale multiplies the grid edge length.
+func IBMCase(name string, scale float64) (GridSpec, error) { return pdn.IBMCase(name, scale) }
+
+// IBMSuite lists the six benchmark names.
+func IBMSuite() []string { return pdn.IBMSuite() }
+
+// Ladder builds an n-stage RC ladder with a drive current (analytic
+// validation workload).
+func Ladder(n int, r, c float64, drive Waveform) (*Circuit, error) {
+	return pdn.Ladder(n, r, c, drive)
+}
+
+// Stiffness measures Re(λmin)/Re(λmax) of -C⁻¹G by power iteration.
+func Stiffness(sys *System, iters int) (float64, error) { return pdn.Stiffness(sys, iters) }
