@@ -108,8 +108,14 @@ func main() {
 	var res *transient.Result
 	var rep *dist.Report
 	if *distributed || *workers != "" {
+		// The fixed-step methods need a step here just like the plain path
+		// below; without this guard dist.Config would read the zero-value
+		// TRFixed-without-Step as "unset" and silently run R-MATEX.
+		if (m == transient.TRFixed || m == transient.BEFixed || m == transient.FEFixed) && *step <= 0 {
+			fatal(fmt.Errorf("fixed-step method %q needs -step or a .tran step in the deck", *method))
+		}
 		cfg := dist.Config{
-			Method: m, Tstop: *tstop, Tol: *tol, Gamma: *gamma, Probes: probes,
+			Method: m, Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
 		}
 		if *workers != "" {
 			pool, err := dist.NewRPCPool(sys, strings.Split(*workers, ","))

@@ -86,10 +86,3 @@ func main() {
 		rep2.Groups, len(addrs), rep2.Retried)
 	fmt.Printf("in-process vs TCP max deviation: %.1e V (identical computation)\n", maxDiff)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

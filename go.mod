@@ -1,0 +1,3 @@
+module github.com/matex-sim/matex
+
+go 1.21

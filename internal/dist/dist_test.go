@@ -1,0 +1,361 @@
+package dist
+
+import (
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/transient"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// testSystem builds an ibmpg1t-scale grid, like the root benchmarks.
+func testSystem(t *testing.T, scale float64) *circuit.System {
+	t.Helper()
+	spec, err := pdn.IBMCase("ibmpg1t", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := circuit.Stamp(ckt, circuit.StampOptions{CollapseSupplies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testProbes(sys *circuit.System) []int {
+	return []int{0, sys.NumNodes / 3, sys.NumNodes / 2, sys.NumNodes - 1}
+}
+
+// maxDeviation compares two probe traces sample by sample; the time grids
+// must match exactly.
+func maxDeviation(t *testing.T, a, b *transient.Result, nProbes int) float64 {
+	t.Helper()
+	if len(a.Times) != len(b.Times) {
+		t.Fatalf("time grids differ: %d vs %d points", len(a.Times), len(b.Times))
+	}
+	var maxDiff float64
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			t.Fatalf("time grids differ at %d: %g vs %g", i, a.Times[i], b.Times[i])
+		}
+		for k := 0; k < nProbes; k++ {
+			if d := math.Abs(a.Probes[i][k] - b.Probes[i][k]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	return maxDiff
+}
+
+// TestDistPartition checks the decomposition against the bump features the
+// pdn generator stamps.
+func TestDistPartition(t *testing.T) {
+	sys := testSystem(t, 0.25)
+	tasks := Partition(sys, 10e-9)
+	if len(tasks) < 2 {
+		t.Fatalf("expected several bump-feature groups, got %d", len(tasks))
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for g, task := range tasks {
+		if task.GroupID != g {
+			t.Errorf("task %d has GroupID %d", g, task.GroupID)
+		}
+		if len(task.InputIdx) == 0 {
+			t.Errorf("group %d is empty", g)
+		}
+		for _, k := range task.InputIdx {
+			if seen[k] {
+				t.Errorf("input %d assigned to two groups", k)
+			}
+			seen[k] = true
+			if sys.Inputs[k].Supply {
+				t.Errorf("supply input %d (%s) in a transient group", k, sys.Inputs[k].Name)
+			}
+			total++
+		}
+	}
+	want := 0
+	for i := range sys.Inputs {
+		if !sys.Inputs[i].Supply {
+			want++
+		}
+	}
+	if total != want {
+		t.Errorf("partition covers %d of %d time-varying inputs", total, want)
+	}
+}
+
+// TestDistSuperposition is the paper's correctness claim: the superposed
+// distributed R-MATEX run matches a plain R-MATEX run of the full system on
+// the same probes and grid.
+func TestDistSuperposition(t *testing.T) {
+	sys := testSystem(t, 0.25)
+	probes := testProbes(sys)
+	opts := transient.Options{Tstop: 10e-9, Tol: 1e-8, Gamma: 1e-10, Probes: probes}
+
+	ref, err := transient.Simulate(sys, transient.RMATEX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := Run(sys, Config{
+		Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-8, Gamma: 1e-10, Probes: probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups < 2 {
+		t.Fatalf("degenerate decomposition: %d groups", rep.Groups)
+	}
+	if len(rep.TaskStats) != rep.Groups {
+		t.Fatalf("TaskStats has %d entries for %d groups", len(rep.TaskStats), rep.Groups)
+	}
+	if d := maxDeviation(t, got, ref, len(probes)); d > 1e-6 {
+		t.Errorf("superposition deviates %.3g V from the plain run (budget 1e-6)", d)
+	}
+	// The final full state superposes too.
+	if len(got.Final) != sys.N {
+		t.Fatalf("missing final state")
+	}
+	var dFinal float64
+	for i := range got.Final {
+		if d := math.Abs(got.Final[i] - ref.Final[i]); d > dFinal {
+			dFinal = d
+		}
+	}
+	if dFinal > 1e-6 {
+		t.Errorf("final state deviates %.3g V", dFinal)
+	}
+}
+
+// TestDistSuperpositionIMATEX covers the second spectral-transform path
+// (shared G factorization, Eq. 5 formulation).
+func TestDistSuperpositionIMATEX(t *testing.T) {
+	sys := testSystem(t, 0.2)
+	probes := testProbes(sys)
+	ref, err := transient.Simulate(sys, transient.IMATEX, transient.Options{
+		Tstop: 10e-9, Tol: 1e-8, Probes: probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Run(sys, Config{
+		Method: transient.IMATEX, Tstop: 10e-9, Tol: 1e-8, Probes: probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDeviation(t, got, ref, len(probes)); d > 1e-6 {
+		t.Errorf("I-MATEX superposition deviates %.3g V (budget 1e-6)", d)
+	}
+}
+
+// startWorker serves a WorkerServer on a loopback listener.
+func startWorker(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, NewWorkerServer())
+	return l.Addr().String(), func() { l.Close() }
+}
+
+// TestDistRPCLoopback runs the same decomposition over two loopback TCP
+// workers and demands bit-identical results to the in-process pool: both
+// paths perform the identical computation in the identical order.
+func TestDistRPCLoopback(t *testing.T) {
+	sys := testSystem(t, 0.2)
+	probes := testProbes(sys)
+	cfg := Config{Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-7, Gamma: 1e-10, Probes: probes}
+
+	local, repL, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr1, stop1 := startWorker(t)
+	defer stop1()
+	addr2, stop2 := startWorker(t)
+	defer stop2()
+	pool, err := NewRPCPool(sys, []string{addr1, addr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	cfg.Pool = pool
+	remote, repR, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repR.Groups != repL.Groups {
+		t.Fatalf("group count differs: %d vs %d", repR.Groups, repL.Groups)
+	}
+	if repR.Retried != 0 {
+		t.Errorf("unexpected retries on healthy workers: %d", repR.Retried)
+	}
+	if d := maxDeviation(t, remote, local, len(probes)); d != 0 {
+		t.Errorf("TCP round-trip deviates %.3g V from in-process (want bit-identical)", d)
+	}
+}
+
+// killableProxy forwards TCP bytes to a target until Kill is called, then
+// severs every connection — a worker machine dying mid-task.
+type killableProxy struct {
+	l      net.Listener
+	target string
+
+	mu     sync.Mutex
+	killed bool
+	conns  []net.Conn
+}
+
+func newKillableProxy(t *testing.T, target string) *killableProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killableProxy{l: l, target: target}
+	go p.acceptLoop()
+	return p
+}
+
+func (p *killableProxy) addr() string { return p.l.Addr().String() }
+
+func (p *killableProxy) acceptLoop() {
+	for {
+		conn, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.killed {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.conns = append(p.conns, conn, up)
+		p.mu.Unlock()
+		go func() { io.Copy(up, conn); up.Close() }()
+		go func() { io.Copy(conn, up); conn.Close() }()
+	}
+}
+
+// Kill severs all live connections and refuses new ones.
+func (p *killableProxy) Kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killed = true
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+	p.l.Close()
+}
+
+// TestDistWorkerFailureRetry kills one of two workers after registration;
+// every subtask it had been assigned must be re-dispatched to the survivor,
+// surface in Report.Retried, and the result must still match in-process.
+func TestDistWorkerFailureRetry(t *testing.T) {
+	sys := testSystem(t, 0.2)
+	probes := testProbes(sys)
+	cfg := Config{Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-7, Gamma: 1e-10, Probes: probes}
+
+	local, _, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrReal, stopReal := startWorker(t)
+	defer stopReal()
+	addrVictim, stopVictim := startWorker(t)
+	defer stopVictim()
+	proxy := newKillableProxy(t, addrVictim)
+
+	pool, err := NewRPCPool(sys, []string{proxy.addr(), addrReal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// The victim dies after registration, before (and so also "during") its
+	// first subtask: every dispatch routed to it must fail over.
+	proxy.Kill()
+
+	cfg.Pool = pool
+	remote, rep, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retried == 0 {
+		t.Errorf("worker death did not surface in Report.Retried")
+	}
+	if d := maxDeviation(t, remote, local, len(probes)); d != 0 {
+		t.Errorf("failover run deviates %.3g V from in-process", d)
+	}
+}
+
+// TestDistRPCPoolRejectsDeadAddress: construction fails fast when a worker
+// is unreachable, instead of deferring the surprise to Solve.
+func TestDistRPCPoolRejectsDeadAddress(t *testing.T) {
+	sys := testSystem(t, 0.1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	if _, err := NewRPCPool(sys, []string{dead}); err == nil {
+		t.Fatal("NewRPCPool succeeded against a closed listener")
+	}
+}
+
+// TestDistNoTransientSources: a purely static system decomposes into zero
+// groups and returns the DC baseline on the [0, tstop] grid.
+func TestDistNoTransientSources(t *testing.T) {
+	ckt := circuit.New("static")
+	if err := ckt.AddR("r1", "a", "0", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.AddC("c1", "a", "0", 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddI("i1", "a", "0", waveform.DC(1e-3))
+	sys, err := circuit.Stamp(ckt, circuit.StampOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := Run(sys, Config{Method: transient.RMATEX, Tstop: 1e-9, Probes: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups != 0 {
+		t.Fatalf("static system produced %d groups", rep.Groups)
+	}
+	if len(res.Times) == 0 {
+		t.Fatal("empty trace")
+	}
+	want := res.Probes[0][0]
+	for i := range res.Times {
+		if res.Probes[i][0] != want {
+			t.Fatalf("static response drifts at t=%g", res.Times[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/transient"
+)
+
+// Request is the solver configuration shared by every subtask of one
+// distributed run. It is wire-friendly: everything a remote worker needs to
+// reproduce the scheduler's transient.Options except the shared
+// factorizations, which never travel (workers factorize their own copy).
+type Request struct {
+	Method                  transient.Method
+	Tstop, Step, Tol, Gamma float64
+	MaxDim                  int
+	Probes                  []int
+	// EvalTimes is the shared GTS output grid every node emits snapshots on.
+	EvalTimes  []float64
+	FactorKind sparse.FactorKind
+	Ordering   sparse.Ordering
+}
+
+// TaskResult is one solved subtask.
+type TaskResult struct {
+	// Result is the zero-state group response sampled on the GTS grid.
+	Result *transient.Result
+	// Elapsed is the node's wall time for the subtask, all phases.
+	Elapsed time.Duration
+	// Retried counts re-dispatches after worker failures before success.
+	Retried int
+}
+
+// Pool runs subtasks somewhere: in-process goroutines (the default) or
+// matexd workers over TCP (NewRPCPool). Solve must be safe for concurrent
+// use; the scheduler issues up to Config.Workers calls at once.
+type Pool interface {
+	Solve(task Task, req Request) (*TaskResult, error)
+	// Close releases pool resources (network connections). The in-process
+	// pool has none.
+	Close() error
+}
+
+// localPool solves subtasks in-process. All subtasks share the zero-based
+// system view and the scheduler's factorizations of G and (C + γG), since
+// every node operates on the same matrices — the in-process analogue of the
+// paper's cluster handing each machine the same netlist.
+type localPool struct {
+	sub      *circuit.System
+	preG     sparse.Factorization
+	preShift sparse.Factorization
+}
+
+// newLocalPool wraps sys for zero-state subtasks. preG is the DC
+// factorization of G, reused by every subtask; for R-MATEX the shifted
+// operator (C + γG) is factorized here once and shared too.
+func newLocalPool(sys *circuit.System, cfg Config, preG sparse.Factorization, stats *transient.Stats) (*localPool, error) {
+	p := &localPool{sub: zeroStateSystem(sys), preG: preG}
+	if cfg.Method == transient.RMATEX {
+		tFac := time.Now()
+		shift := sparse.Add(1, sys.C, cfg.Gamma, sys.G)
+		fs, err := sparse.Factor(shift, cfg.FactorKind, cfg.Ordering)
+		if err != nil {
+			return nil, fmt.Errorf("dist: factorizing (C+γG): %w", err)
+		}
+		p.preShift = fs
+		stats.Factorizations++
+		stats.FactorTime += time.Since(tFac)
+	}
+	return p, nil
+}
+
+// Solve implements Pool.
+func (p *localPool) Solve(task Task, req Request) (*TaskResult, error) {
+	start := time.Now()
+	opts := subtaskOptions(p.sub, task, req, p.preG, p.preShift)
+	res, err := transient.Simulate(p.sub, req.Method, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dist: group %d: %w", task.GroupID, err)
+	}
+	return &TaskResult{Result: res, Elapsed: time.Since(start)}, nil
+}
+
+// Close implements Pool.
+func (p *localPool) Close() error { return nil }
+
+// dispatcher fans tasks out over a pool with bounded concurrency and
+// collects results in task order.
+type dispatcher struct {
+	pool    Pool
+	workers int
+
+	mu       sync.Mutex
+	results  []*TaskResult
+	firstErr error
+}
+
+func (d *dispatcher) run(tasks []Task, req Request) ([]*TaskResult, error) {
+	d.results = make([]*TaskResult, len(tasks))
+	sem := make(chan struct{}, d.workers)
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, task Task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tr, err := d.pool.Solve(task, req)
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			if err != nil {
+				if d.firstErr == nil {
+					d.firstErr = err
+				}
+				return
+			}
+			d.results[i] = tr
+		}(i, task)
+	}
+	wg.Wait()
+	if d.firstErr != nil {
+		return nil, d.firstErr
+	}
+	return d.results, nil
+}

@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"github.com/matex-sim/matex/internal/circuit"
+)
+
+// rpcWorker is one matexd connection with its liveness state.
+type rpcWorker struct {
+	addr   string
+	client *rpc.Client
+	dead   bool
+}
+
+// rpcPool dispatches subtasks to matexd workers over TCP. Subtasks are
+// spread round-robin; a worker whose transport fails mid-task is redialed
+// once and otherwise marked dead, and the task is re-dispatched to the next
+// live worker (counted in TaskResult.Retried, surfaced via Report.Retried).
+type rpcPool struct {
+	id   uint64
+	blob []byte
+
+	mu      sync.Mutex
+	workers []*rpcWorker
+	next    int
+}
+
+// NewRPCPool connects to matexd workers and registers the system's
+// zero-based subtask circuit with each of them. Every address must be
+// reachable at construction time; failures during Solve are retried on the
+// remaining workers instead.
+func NewRPCPool(sys *circuit.System, addrs []string) (Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: NewRPCPool needs at least one worker address")
+	}
+	blob, err := encodeSystem(sys)
+	if err != nil {
+		return nil, err
+	}
+	p := &rpcPool{id: fingerprint(blob), blob: blob}
+	for _, addr := range addrs {
+		client, err := dialAndRegister(addr, p.id, blob)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("dist: worker %s: %w", addr, err)
+		}
+		p.workers = append(p.workers, &rpcWorker{addr: addr, client: client})
+	}
+	return p, nil
+}
+
+// dialAndRegister connects to one worker and ensures it holds the system:
+// it probes by ID first and ships the blob only if the worker lacks it.
+func dialAndRegister(addr string, id uint64, blob []byte) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	client := rpc.NewClient(conn)
+	var reply RegisterReply
+	if err := client.Call(rpcService+".Register", &RegisterArgs{ID: id}, &reply); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("probing system registration: %w", err)
+	}
+	if !reply.Known {
+		if err := client.Call(rpcService+".Register", &RegisterArgs{ID: id, Blob: blob}, &reply); err != nil {
+			client.Close()
+			return nil, fmt.Errorf("registering system: %w", err)
+		}
+	}
+	return client, nil
+}
+
+// Solve implements Pool.
+func (p *rpcPool) Solve(task Task, req Request) (*TaskResult, error) {
+	args := &SolveArgs{SystemID: p.id, Task: task, Req: req}
+	retried := 0
+	var lastErr error
+	// Every worker gets at most two chances for this task: its original
+	// dispatch and one more after a successful mid-task revival (a restarted
+	// matexd), so a flapping worker cannot trap the task in a retry loop.
+	for attempt := 0; attempt < 2*p.size(); attempt++ {
+		w, client := p.pick()
+		if w == nil {
+			break
+		}
+		start := time.Now()
+		var reply SolveReply
+		err := client.Call(rpcService+".Solve", args, &reply)
+		if err == nil {
+			return &TaskResult{Result: reply.Result, Elapsed: time.Since(start), Retried: retried}, nil
+		}
+		if !isTransportError(err) {
+			// The worker answered: a genuine solver failure, identical on
+			// every node — re-dispatching cannot help.
+			return nil, err
+		}
+		lastErr = err
+		p.reviveOrBury(w, client)
+		retried++
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no live workers")
+	}
+	return nil, fmt.Errorf("dist: group %d failed on all workers: %w", task.GroupID, lastErr)
+}
+
+// size returns the worker count (live or dead) — the retry attempt basis.
+func (p *rpcPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// pick returns the next live worker round-robin with a snapshot of its
+// client (connections are swapped under the lock on revival), or nil when
+// none is left.
+func (p *rpcPool) pick() (*rpcWorker, *rpc.Client) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < len(p.workers); i++ {
+		w := p.workers[p.next%len(p.workers)]
+		p.next++
+		if !w.dead {
+			return w, w.client
+		}
+	}
+	return nil, nil
+}
+
+// reviveOrBury handles a worker whose transport failed: one redial attempt
+// (a restarted matexd re-registers and lives on), else mark it dead. failed
+// is the connection the caller observed failing; if another goroutine
+// already swapped it out, the worker is left alone.
+func (p *rpcPool) reviveOrBury(w *rpcWorker, failed *rpc.Client) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w.dead || w.client != failed {
+		return
+	}
+	failed.Close()
+	client, err := dialAndRegister(w.addr, p.id, p.blob)
+	if err != nil {
+		w.dead = true
+		return
+	}
+	w.client = client
+}
+
+// Close implements Pool.
+func (p *rpcPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for _, w := range p.workers {
+		if w.client == nil || w.dead {
+			continue
+		}
+		if err := w.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// isTransportError distinguishes a broken connection (retryable on another
+// worker) from an error the remote solver returned (not retryable —
+// rpc.ServerError values travel back over a healthy connection).
+func isTransportError(err error) bool {
+	var serverErr rpc.ServerError
+	if errors.As(err, &serverErr) {
+		return false
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) {
+		return true
+	}
+	var opErr *net.OpError
+	return errors.As(err, &opErr)
+}

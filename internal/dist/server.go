@@ -1,0 +1,216 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/transient"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// rpcService is the name the worker service registers under.
+const rpcService = "MatexWorker"
+
+func init() {
+	// Concrete waveform types crossing the wire inside circuit.Input.Wave.
+	gob.Register(waveform.DC(0))
+	gob.Register(&waveform.Pulse{})
+	gob.Register(&waveform.PWL{})
+	gob.Register(waveform.Scaled{})
+	gob.Register(waveform.Shifted{})
+	gob.Register(waveform.ZeroBased{})
+}
+
+// wireSystem is the serialized form of the subtask system: exactly what a
+// worker needs to run transient.Simulate — matrices and inputs, no node
+// names. The inputs arrive already zero-based (see zeroStateSystem).
+type wireSystem struct {
+	N, NumNodes int
+	C, G        *sparse.CSC
+	Inputs      []circuit.Input
+}
+
+// encodeSystem gob-encodes the zero-based view of sys. The byte content
+// also serves as the system's identity (see fingerprint).
+func encodeSystem(sys *circuit.System) ([]byte, error) {
+	sub := zeroStateSystem(sys)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wireSystem{
+		N: sub.N, NumNodes: sub.NumNodes, C: sub.C, G: sub.G, Inputs: sub.Inputs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding system: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// fingerprint hashes an encoded system (FNV-1a) into a registration ID, so
+// re-registering the same circuit is idempotent across reconnects.
+func fingerprint(blob []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range blob {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// RegisterArgs ships a circuit to a worker ahead of its subtasks.
+type RegisterArgs struct {
+	// ID is the fingerprint of Blob; subtasks refer to the system by it.
+	ID uint64
+	// Blob is the gob-encoded system (empty when probing with Known).
+	Blob []byte
+}
+
+// RegisterReply acknowledges a registration.
+type RegisterReply struct {
+	// Known reports whether the worker now holds the system.
+	Known bool
+}
+
+// SolveArgs is one subtask dispatch.
+type SolveArgs struct {
+	SystemID uint64
+	Task     Task
+	Req      Request
+}
+
+// SolveReply carries the subtask's zero-state response.
+type SolveReply struct {
+	Result *transient.Result
+}
+
+// workerSystem is a registered circuit plus its cached factorizations:
+// a worker factorizes G and (C + γG) once and reuses them across every
+// subtask it is handed for that circuit, like the paper's cluster nodes.
+type workerSystem struct {
+	sys *circuit.System
+
+	mu     sync.Mutex
+	preG   sparse.Factorization
+	shifts map[shiftKey]sparse.Factorization
+}
+
+type shiftKey struct {
+	gamma float64
+	kind  sparse.FactorKind
+	order sparse.Ordering
+}
+
+// WorkerServer is the net/rpc service run by a matexd worker: it holds the
+// circuits it has been sent and solves the subtasks dispatched against
+// them. Zero value is not usable; call NewWorkerServer.
+type WorkerServer struct {
+	mu      sync.Mutex
+	systems map[uint64]*workerSystem
+}
+
+// NewWorkerServer returns an empty worker service for use with Serve.
+func NewWorkerServer() *WorkerServer {
+	return &WorkerServer{systems: make(map[uint64]*workerSystem)}
+}
+
+// Register stores a circuit on the worker. With an empty Blob it only
+// probes: Known reports whether the ID is already held (so a reconnecting
+// scheduler can skip re-sending a large circuit).
+func (w *WorkerServer) Register(args *RegisterArgs, reply *RegisterReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.systems[args.ID]; ok {
+		reply.Known = true
+		return nil
+	}
+	if len(args.Blob) == 0 {
+		reply.Known = false
+		return nil
+	}
+	if got := fingerprint(args.Blob); got != args.ID {
+		return fmt.Errorf("dist: system blob fingerprint %x does not match ID %x", got, args.ID)
+	}
+	var ws wireSystem
+	if err := gob.NewDecoder(bytes.NewReader(args.Blob)).Decode(&ws); err != nil {
+		return fmt.Errorf("dist: decoding system: %w", err)
+	}
+	w.systems[args.ID] = &workerSystem{
+		sys: &circuit.System{
+			N: ws.N, NumNodes: ws.NumNodes, C: ws.C, G: ws.G, Inputs: ws.Inputs,
+		},
+		shifts: make(map[shiftKey]sparse.Factorization),
+	}
+	reply.Known = true
+	return nil
+}
+
+// Solve runs one zero-state subtask against a registered circuit.
+func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
+	w.mu.Lock()
+	ws, ok := w.systems[args.SystemID]
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dist: unknown system %x (register it first)", args.SystemID)
+	}
+	preG, preShift, err := ws.factorizations(args.Req)
+	if err != nil {
+		return err
+	}
+	opts := subtaskOptions(ws.sys, args.Task, args.Req, preG, preShift)
+	res, err := transient.Simulate(ws.sys, args.Req.Method, opts)
+	if err != nil {
+		return fmt.Errorf("dist: group %d: %w", args.Task.GroupID, err)
+	}
+	res.Full = nil // never ships; superposition only needs probes and Final
+	reply.Result = res
+	return nil
+}
+
+// factorizations returns the worker's cached factorizations for a request,
+// computing them on first use.
+func (ws *workerSystem) factorizations(req Request) (preG, preShift sparse.Factorization, err error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.preG == nil {
+		ws.preG, err = sparse.Factor(ws.sys.G, req.FactorKind, req.Ordering)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist: worker factorizing G: %w", err)
+		}
+	}
+	if req.Method != transient.RMATEX {
+		return ws.preG, nil, nil
+	}
+	key := shiftKey{gamma: req.Gamma, kind: req.FactorKind, order: req.Ordering}
+	fs, ok := ws.shifts[key]
+	if !ok {
+		shift := sparse.Add(1, ws.sys.C, req.Gamma, ws.sys.G)
+		fs, err = sparse.Factor(shift, req.FactorKind, req.Ordering)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist: worker factorizing (C+γG): %w", err)
+		}
+		ws.shifts[key] = fs
+	}
+	return ws.preG, fs, nil
+}
+
+// Serve accepts connections on l and serves the worker service until the
+// listener fails (e.g. is closed). Each connection is served concurrently;
+// net/rpc additionally runs each call in its own goroutine.
+func Serve(l net.Listener, ws *WorkerServer) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(rpcService, ws); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
