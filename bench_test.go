@@ -107,6 +107,30 @@ func BenchmarkTable2_TRAdaptive_ibmpg1t(b *testing.B) { benchTable2(b, transient
 func BenchmarkTable2_IMATEX_ibmpg1t(b *testing.B)     { benchTable2(b, transient.IMATEX) }
 func BenchmarkTable2_RMATEX_ibmpg1t(b *testing.B)     { benchTable2(b, transient.RMATEX) }
 
+// BenchmarkTable2_TRAdaptiveCached_ibmpg1t is the cached counterpart of the
+// TR(adpt) row: step quantization plus the shared factorization cache turn
+// most re-factorizations into cache hits. Compare factorizations/cache_hits
+// against BenchmarkTable2_TRAdaptive_ibmpg1t to see the Eq. 11 cost term
+// shrink.
+func BenchmarkTable2_TRAdaptiveCached_ibmpg1t(b *testing.B) {
+	sys := benchSystem(b, "ibmpg1t", 0.25)
+	cache := sparse.NewCache(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := transient.Simulate(sys, transient.TRAdaptive, transient.Options{
+			Tstop: 10e-9, Tol: 1e-4, Cache: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.Factorizations), "factorizations")
+			b.ReportMetric(float64(res.Stats.CacheHits), "cache_hits")
+		}
+	}
+}
+
 // --- Table 3: fixed-step TR (1000 steps) vs distributed MATEX -------------
 
 func BenchmarkTable3_TR1000_ibmpg1t(b *testing.B) {
@@ -139,6 +163,27 @@ func BenchmarkTable3_MATEXDist_ibmpg1t(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(rep.Groups), "groups")
+		}
+	}
+}
+
+// BenchmarkTable3_MATEXDistCached_ibmpg1t reuses one factorization cache
+// across iterations — the steady-state cost of a scheduler issuing repeated
+// distributed runs (every run after the first is refactorization-free).
+func BenchmarkTable3_MATEXDistCached_ibmpg1t(b *testing.B) {
+	sys := benchSystem(b, "ibmpg1t", 0.25)
+	cache := sparse.NewCache(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := dist.Run(sys, dist.Config{
+			Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-6, Gamma: 1e-10, Cache: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 1 && res.Stats.Factorizations != 0 {
+			b.Fatalf("warm run performed %d factorizations, want 0", res.Stats.Factorizations)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/dist"
 	"github.com/matex-sim/matex/internal/netlist"
+	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
 )
 
@@ -37,6 +38,13 @@ var methods = map[string]transient.Method{
 	"rmatex": transient.RMATEX,
 }
 
+var orderings = map[string]sparse.Ordering{
+	"default": sparse.OrderDefault,
+	"natural": sparse.OrderNatural,
+	"rcm":     sparse.OrderRCM,
+	"mindeg":  sparse.OrderMinDegree,
+}
+
 func main() {
 	method := flag.String("method", "rmatex", "integrator: tr, be, fe, tradpt, mexp, imatex, rmatex")
 	tstop := flag.Float64("tstop", 0, "simulation window in seconds (default: the deck's .tran stop)")
@@ -45,6 +53,8 @@ func main() {
 	gamma := flag.Float64("gamma", 1e-10, "rational shift γ for rmatex")
 	distributed := flag.Bool("distributed", false, "decompose sources by bump feature and superpose")
 	workers := flag.String("workers", "", "comma-separated matexd TCP addresses (implies -distributed)")
+	order := flag.String("order", "default", "fill-reducing ordering: default (=rcm), natural, rcm, mindeg")
+	cacheMB := flag.Int("cache-mb", 256, "factorization cache budget in MiB (0 disables the cache)")
 	stats := flag.Bool("stats", false, "print solver work statistics to stderr")
 	flag.Parse()
 
@@ -56,6 +66,14 @@ func main() {
 	m, ok := methods[strings.ToLower(*method)]
 	if !ok {
 		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	ord, ok := orderings[strings.ToLower(*order)]
+	if !ok {
+		fatal(fmt.Errorf("unknown ordering %q", *order))
+	}
+	var cache *sparse.Cache
+	if *cacheMB > 0 {
+		cache = sparse.NewCache(int64(*cacheMB) << 20)
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -116,6 +134,7 @@ func main() {
 		}
 		cfg := dist.Config{
 			Method: m, Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
+			Ordering: ord, Cache: cache,
 		}
 		if *workers != "" {
 			pool, err := dist.NewRPCPool(sys, strings.Split(*workers, ","))
@@ -128,6 +147,7 @@ func main() {
 	} else {
 		res, err = transient.Simulate(sys, m, transient.Options{
 			Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
+			Ordering: ord, Cache: cache,
 		})
 	}
 	if err != nil {
@@ -152,11 +172,10 @@ func main() {
 		if rep != nil {
 			fmt.Fprintf(os.Stderr, "groups=%d retried=%d max_node_time=%v max_node_transient=%v\n",
 				rep.Groups, rep.Retried, rep.MaxNodeTime, rep.MaxNodeTrTime)
-		} else {
-			s := &res.Stats
-			fmt.Fprintf(os.Stderr, "factorizations=%d solve_pairs=%d spmvs=%d expm_evals=%d steps=%d m_a=%.1f m_p=%d dc=%v factor=%v transient=%v\n",
-				s.Factorizations, s.SolvePairs, s.SpMVs, s.ExpmEvals, s.Steps, s.MA(), s.MP(), s.DCTime, s.FactorTime, s.TransientTime)
 		}
+		s := &res.Stats
+		fmt.Fprintf(os.Stderr, "factorizations=%d cache_hits=%d cache_misses=%d solve_pairs=%d spmvs=%d expm_evals=%d steps=%d m_a=%.1f m_p=%d dc=%v factor=%v transient=%v\n",
+			s.Factorizations, s.CacheHits, s.CacheMisses, s.SolvePairs, s.SpMVs, s.ExpmEvals, s.Steps, s.MA(), s.MP(), s.DCTime, s.FactorTime, s.TransientTime)
 	}
 }
 

@@ -16,10 +16,12 @@ import (
 	"net"
 
 	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/sparse"
 )
 
 func main() {
 	listen := flag.String("listen", ":9090", "TCP address to listen on")
+	cacheMB := flag.Int("cache-mb", 0, "factorization cache budget in MiB; <=0 selects the 512 MiB default (the worker cache is always on — it replaces per-subtask refactorization)")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *listen)
@@ -27,7 +29,8 @@ func main() {
 		log.Fatalf("matexd: %v", err)
 	}
 	fmt.Printf("matexd: listening on %s\n", l.Addr())
-	if err := dist.Serve(l, dist.NewWorkerServer()); err != nil {
+	ws := dist.NewWorkerServerWithCache(sparse.NewCache(int64(*cacheMB) << 20))
+	if err := dist.Serve(l, ws); err != nil {
 		log.Fatalf("matexd: %v", err)
 	}
 }

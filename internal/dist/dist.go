@@ -96,6 +96,13 @@ type Config struct {
 	// Pool overrides where subtasks run. Nil uses an in-process goroutine
 	// pool; NewRPCPool dispatches to matexd workers over TCP.
 	Pool Pool
+	// Cache, when non-nil, is the content-addressed factorization cache
+	// shared by the scheduler's DC solve and every in-process subtask.
+	// Reusing one Cache across repeated Run calls eliminates all
+	// refactorization on later runs. Nil uses a run-local cache (subtasks
+	// still share factorizations within the run). The cache never travels
+	// over RPC: matexd workers keep their own per-process cache.
+	Cache *sparse.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +118,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxDim <= 0 {
 		c.MaxDim = 256
 	}
+	// Resolve the ordering once, here: previously the scheduler's own DC
+	// factorization ran with the raw zero value (natural ordering) while
+	// every subtask resolved it to RCM — inconsistent fill and, with a
+	// shared cache, needlessly distinct cache keys.
+	c.Ordering = c.Ordering.Resolve()
 	return c
 }
 
@@ -173,9 +185,11 @@ func zeroStateSystem(sys *circuit.System) *circuit.System {
 }
 
 // subtaskOptions assembles the transient.Options for one task against the
-// zero-based system view. preG/preShift may be nil (the node factorizes its
-// own copy, like the paper's cluster machines).
-func subtaskOptions(sub *circuit.System, task Task, req Request, preG, preShift sparse.Factorization) transient.Options {
+// zero-based system view. cache is the node's factorization cache: on the
+// scheduler it is shared by every in-process subtask, on a matexd worker it
+// is the worker's own (factorizations never travel, like the paper's
+// cluster machines).
+func subtaskOptions(sub *circuit.System, task Task, req Request, cache *sparse.Cache) transient.Options {
 	active := make([]bool, len(sub.Inputs))
 	for _, k := range task.InputIdx {
 		active[k] = true
@@ -192,7 +206,6 @@ func subtaskOptions(sub *circuit.System, task Task, req Request, preG, preShift 
 		Ordering:     req.Ordering,
 		ActiveInputs: active,
 		InitialState: make([]float64, sub.N),
-		PreG:         preG,
-		PreShift:     preShift,
+		Cache:        cache,
 	}
 }

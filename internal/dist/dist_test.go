@@ -9,6 +9,7 @@ import (
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
 	"github.com/matex-sim/matex/internal/waveform"
 )
@@ -357,5 +358,127 @@ func TestDistNoTransientSources(t *testing.T) {
 		if res.Probes[i][0] != want {
 			t.Fatalf("static response drifts at t=%g", res.Times[i])
 		}
+	}
+}
+
+// TestDistFixedStepInterpolatedOntoGTS covers the misaligned-grid path of
+// addProbes: fixed-step subtasks emit their own step grid (including the
+// shortened final step landing exactly on Tstop), which Run linearly
+// interpolates onto the GTS output grid. The distributed result must match
+// an undistributed fixed-step reference interpolated the same way — and the
+// superposed Final states must agree at Tstop, which the old round-to-
+// nearest step count broke for non-divisible Tstop/Step.
+func TestDistFixedStepInterpolatedOntoGTS(t *testing.T) {
+	sys := testSystem(t, 0.2)
+	probes := testProbes(sys)
+	const tstop, step = 10e-9, 0.7e-9 // 10/0.7 is not an integer
+
+	ref, err := transient.Simulate(sys, transient.TRFixed, transient.Options{
+		Tstop: tstop, Step: step, Probes: probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := Run(sys, Config{
+		Method: transient.TRFixed, Tstop: tstop, Step: step, Probes: probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups < 2 {
+		t.Fatalf("degenerate decomposition: %d groups", rep.Groups)
+	}
+	// The GTS grid does not coincide with the 0.7ns step grid, so this run
+	// exercised the interpolation branch; compare against the reference
+	// interpolated onto the same GTS times.
+	var maxDiff float64
+	for i, tt := range got.Times {
+		for k := range probes {
+			want := ref.InterpProbe(tt, k)
+			if d := math.Abs(got.Probes[i][k] - want); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Errorf("interpolated fixed-step superposition deviates %.3g V (budget 1e-6)", maxDiff)
+	}
+	// Superposed Final is the state at Tstop exactly.
+	var dFinal float64
+	for i := range got.Final {
+		if d := math.Abs(got.Final[i] - ref.Final[i]); d > dFinal {
+			dFinal = d
+		}
+	}
+	if dFinal > 1e-6 {
+		t.Errorf("final state deviates %.3g V at Tstop", dFinal)
+	}
+}
+
+// TestDistRepeatedRunZeroFactorizations is the distributed acceptance test
+// for the factorization cache: against the same WorkerServer, with the
+// scheduler reusing one Config.Cache, the second Run must perform zero new
+// factorizations anywhere — the workers serve every operator from their
+// per-process cache and the scheduler's DC factorization hits too.
+func TestDistRepeatedRunZeroFactorizations(t *testing.T) {
+	sys := testSystem(t, 0.2)
+	probes := testProbes(sys)
+
+	addr, stop := startWorker(t)
+	defer stop()
+	pool, err := NewRPCPool(sys, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	cfg := Config{
+		Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-7, Gamma: 1e-10,
+		Probes: probes, Pool: pool, Cache: sparse.NewCache(0),
+	}
+	first, _, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Factorizations == 0 {
+		t.Fatal("first run reports no factorizations at all")
+	}
+	second, _, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Factorizations != 0 {
+		t.Errorf("second run against the same worker factorized %d times, want 0",
+			second.Stats.Factorizations)
+	}
+	if second.Stats.CacheHits == 0 {
+		t.Error("second run recorded no cache hits")
+	}
+	if d := maxDeviation(t, second, first, len(probes)); d != 0 {
+		t.Errorf("cached repeat deviates %.3g V (want bit-identical)", d)
+	}
+}
+
+// TestDistLocalPoolSharesFactorizations: even without a caller cache, one
+// in-process Run factorizes G and (C+γG) exactly once across all subtasks.
+func TestDistLocalPoolSharesFactorizations(t *testing.T) {
+	sys := testSystem(t, 0.2)
+	res, rep, err := Run(sys, Config{
+		Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-7, Gamma: 1e-10,
+		Probes: testProbes(sys),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups < 2 {
+		t.Fatalf("degenerate decomposition: %d groups", rep.Groups)
+	}
+	// One G (DC) + one C+γG, regardless of group count.
+	if res.Stats.Factorizations != 2 {
+		t.Errorf("in-process run factorized %d times for %d groups, want 2",
+			res.Stats.Factorizations, rep.Groups)
+	}
+	if res.Stats.CacheHits == 0 {
+		t.Error("subtasks recorded no cache hits on the shared pool cache")
 	}
 }

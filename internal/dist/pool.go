@@ -46,38 +46,25 @@ type Pool interface {
 }
 
 // localPool solves subtasks in-process. All subtasks share the zero-based
-// system view and the scheduler's factorizations of G and (C + γG), since
-// every node operates on the same matrices — the in-process analogue of the
-// paper's cluster handing each machine the same netlist.
+// system view and one factorization cache, since every node operates on the
+// same matrices — the in-process analogue of the paper's cluster handing
+// each machine the same netlist. The cache's singleflight lookup means
+// concurrent subtasks needing the same operator (G, or C + γG for R-MATEX)
+// wait for one factorization instead of duplicating it.
 type localPool struct {
-	sub      *circuit.System
-	preG     sparse.Factorization
-	preShift sparse.Factorization
+	sub   *circuit.System
+	cache *sparse.Cache
 }
 
-// newLocalPool wraps sys for zero-state subtasks. preG is the DC
-// factorization of G, reused by every subtask; for R-MATEX the shifted
-// operator (C + γG) is factorized here once and shared too.
-func newLocalPool(sys *circuit.System, cfg Config, preG sparse.Factorization, stats *transient.Stats) (*localPool, error) {
-	p := &localPool{sub: zeroStateSystem(sys), preG: preG}
-	if cfg.Method == transient.RMATEX {
-		tFac := time.Now()
-		shift := sparse.Add(1, sys.C, cfg.Gamma, sys.G)
-		fs, err := sparse.Factor(shift, cfg.FactorKind, cfg.Ordering)
-		if err != nil {
-			return nil, fmt.Errorf("dist: factorizing (C+γG): %w", err)
-		}
-		p.preShift = fs
-		stats.Factorizations++
-		stats.FactorTime += time.Since(tFac)
-	}
-	return p, nil
+// newLocalPool wraps sys for zero-state subtasks sharing cache.
+func newLocalPool(sys *circuit.System, cache *sparse.Cache) *localPool {
+	return &localPool{sub: zeroStateSystem(sys), cache: cache}
 }
 
 // Solve implements Pool.
 func (p *localPool) Solve(task Task, req Request) (*TaskResult, error) {
 	start := time.Now()
-	opts := subtaskOptions(p.sub, task, req, p.preG, p.preShift)
+	opts := subtaskOptions(p.sub, task, req, p.cache)
 	res, err := transient.Simulate(p.sub, req.Method, opts)
 	if err != nil {
 		return nil, fmt.Errorf("dist: group %d: %w", task.GroupID, err)

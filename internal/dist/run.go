@@ -33,15 +33,29 @@ func Run(sys *circuit.System, cfg Config) (*transient.Result, *Report, error) {
 	res := &transient.Result{}
 	rep := &Report{}
 
-	// DC operating point: G·x_DC = B·u(0) over all inputs. The factorization
-	// of G is kept for the in-process subtasks (I-MATEX reuses it as its
-	// Krylov operator; every method reuses it for the zero-state setup).
+	// The factorization cache every in-process phase goes through: the DC
+	// solve below and all local subtasks share it, so G is factorized at
+	// most once per distinct content, and a caller-provided cfg.Cache makes
+	// repeated Run calls refactorization-free.
+	cache := cfg.Cache
+	if cache == nil {
+		cache = sparse.NewCache(0)
+	}
+
+	// DC operating point: G·x_DC = B·u(0) over all inputs. The cached
+	// factorization of G is reused by the in-process subtasks (I-MATEX as
+	// its Krylov operator; every method for the zero-state setup).
 	tDC := time.Now()
-	fg, err := sparse.Factor(sys.G, cfg.FactorKind, cfg.Ordering)
+	fg, hit, err := cache.Factor(sys.G, cfg.FactorKind, cfg.Ordering)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dist: DC factorization failed: %w", err)
 	}
-	res.Stats.Factorizations++
+	if hit {
+		res.Stats.CacheHits++
+	} else {
+		res.Stats.CacheMisses++
+		res.Stats.Factorizations++
+	}
 	b := make([]float64, sys.N)
 	sys.EvalB(0, b, nil)
 	xdc := make([]float64, sys.N)
@@ -63,10 +77,7 @@ func Run(sys *circuit.System, cfg Config) (*transient.Result, *Report, error) {
 
 	pool := cfg.Pool
 	if pool == nil {
-		lp, err := newLocalPool(sys, cfg, fg, &res.Stats)
-		if err != nil {
-			return nil, nil, err
-		}
+		lp := newLocalPool(sys, cache)
 		defer lp.Close()
 		pool = lp
 	}
@@ -173,6 +184,8 @@ func aggregate(dst, src *transient.Stats) {
 	dst.Steps += src.Steps
 	dst.Rejected += src.Rejected
 	dst.Regularized = dst.Regularized || src.Regularized
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
 	dst.FactorTime += src.FactorTime
 }
 

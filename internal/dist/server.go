@@ -14,8 +14,13 @@ import (
 	"github.com/matex-sim/matex/internal/waveform"
 )
 
-// rpcService is the name the worker service registers under.
-const rpcService = "MatexWorker"
+// rpcService is the name the worker service registers under. The "2"
+// marks the wire generation: sparse.Ordering values were renumbered when
+// OrderDefault became the zero value, so a scheduler from this generation
+// talking to an older matexd (or vice versa) would silently factorize
+// under a different ordering. A distinct service name makes the mismatch a
+// loud "can't find service" dial-time error instead.
+const rpcService = "MatexWorker2"
 
 func init() {
 	// Concrete waveform types crossing the wire inside circuit.Input.Wave.
@@ -88,21 +93,12 @@ type SolveReply struct {
 	Result *transient.Result
 }
 
-// workerSystem is a registered circuit plus its cached factorizations:
-// a worker factorizes G and (C + γG) once and reuses them across every
-// subtask it is handed for that circuit, like the paper's cluster nodes.
+// workerSystem is a registered circuit. Its factorizations live in the
+// server-wide cache, keyed by matrix content, so a worker factorizes G and
+// (C + γG) once and reuses them across every subtask and every repeated
+// scheduler run against the same circuit, like the paper's cluster nodes.
 type workerSystem struct {
 	sys *circuit.System
-
-	mu     sync.Mutex
-	preG   sparse.Factorization
-	shifts map[shiftKey]sparse.Factorization
-}
-
-type shiftKey struct {
-	gamma float64
-	kind  sparse.FactorKind
-	order sparse.Ordering
 }
 
 // WorkerServer is the net/rpc service run by a matexd worker: it holds the
@@ -111,12 +107,27 @@ type shiftKey struct {
 type WorkerServer struct {
 	mu      sync.Mutex
 	systems map[uint64]*workerSystem
+	cache   *sparse.Cache
 }
 
-// NewWorkerServer returns an empty worker service for use with Serve.
+// NewWorkerServer returns an empty worker service for use with Serve, with
+// a default-budget factorization cache.
 func NewWorkerServer() *WorkerServer {
-	return &WorkerServer{systems: make(map[uint64]*workerSystem)}
+	return NewWorkerServerWithCache(sparse.NewCache(0))
 }
+
+// NewWorkerServerWithCache returns an empty worker service using the given
+// factorization cache (nil allocates a default one). cmd/matexd uses this
+// to honor its -cache-mb budget flag.
+func NewWorkerServerWithCache(cache *sparse.Cache) *WorkerServer {
+	if cache == nil {
+		cache = sparse.NewCache(0)
+	}
+	return &WorkerServer{systems: make(map[uint64]*workerSystem), cache: cache}
+}
+
+// CacheStats reports the worker's factorization cache counters.
+func (w *WorkerServer) CacheStats() sparse.CacheStats { return w.cache.Stats() }
 
 // Register stores a circuit on the worker. With an empty Blob it only
 // probes: Known reports whether the ID is already held (so a reconnecting
@@ -143,7 +154,6 @@ func (w *WorkerServer) Register(args *RegisterArgs, reply *RegisterReply) error 
 		sys: &circuit.System{
 			N: ws.N, NumNodes: ws.NumNodes, C: ws.C, G: ws.G, Inputs: ws.Inputs,
 		},
-		shifts: make(map[shiftKey]sparse.Factorization),
 	}
 	reply.Known = true
 	return nil
@@ -157,11 +167,7 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	if !ok {
 		return fmt.Errorf("dist: unknown system %x (register it first)", args.SystemID)
 	}
-	preG, preShift, err := ws.factorizations(args.Req)
-	if err != nil {
-		return err
-	}
-	opts := subtaskOptions(ws.sys, args.Task, args.Req, preG, preShift)
+	opts := subtaskOptions(ws.sys, args.Task, args.Req, w.cache)
 	res, err := transient.Simulate(ws.sys, args.Req.Method, opts)
 	if err != nil {
 		return fmt.Errorf("dist: group %d: %w", args.Task.GroupID, err)
@@ -169,33 +175,6 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	res.Full = nil // never ships; superposition only needs probes and Final
 	reply.Result = res
 	return nil
-}
-
-// factorizations returns the worker's cached factorizations for a request,
-// computing them on first use.
-func (ws *workerSystem) factorizations(req Request) (preG, preShift sparse.Factorization, err error) {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	if ws.preG == nil {
-		ws.preG, err = sparse.Factor(ws.sys.G, req.FactorKind, req.Ordering)
-		if err != nil {
-			return nil, nil, fmt.Errorf("dist: worker factorizing G: %w", err)
-		}
-	}
-	if req.Method != transient.RMATEX {
-		return ws.preG, nil, nil
-	}
-	key := shiftKey{gamma: req.Gamma, kind: req.FactorKind, order: req.Ordering}
-	fs, ok := ws.shifts[key]
-	if !ok {
-		shift := sparse.Add(1, ws.sys.C, req.Gamma, ws.sys.G)
-		fs, err = sparse.Factor(shift, req.FactorKind, req.Ordering)
-		if err != nil {
-			return nil, nil, fmt.Errorf("dist: worker factorizing (C+γG): %w", err)
-		}
-		ws.shifts[key] = fs
-	}
-	return ws.preG, fs, nil
 }
 
 // Serve accepts connections on l and serves the worker service until the

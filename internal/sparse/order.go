@@ -6,8 +6,13 @@ import "sort"
 type Ordering int
 
 const (
+	// OrderDefault is the zero value: "no preference", resolved to OrderRCM
+	// wherever an ordering is actually applied (see Resolve). Keeping the
+	// default distinct from OrderNatural lets callers genuinely request
+	// natural ordering.
+	OrderDefault Ordering = iota
 	// OrderNatural keeps the input order.
-	OrderNatural Ordering = iota
+	OrderNatural
 	// OrderRCM applies reverse Cuthill-McKee to the pattern of A+Aᵀ,
 	// a bandwidth-reducing ordering well suited to grid circuits.
 	OrderRCM
@@ -16,8 +21,21 @@ const (
 	OrderMinDegree
 )
 
+// Resolve maps OrderDefault to the repository-wide default resolution
+// (OrderRCM) and returns any explicit choice unchanged. Cache keys and
+// factorizations use the resolved value so OrderDefault and OrderRCM are
+// interchangeable.
+func (o Ordering) Resolve() Ordering {
+	if o == OrderDefault {
+		return OrderRCM
+	}
+	return o
+}
+
 func (o Ordering) String() string {
 	switch o {
+	case OrderDefault:
+		return "default"
 	case OrderNatural:
 		return "natural"
 	case OrderRCM:
@@ -29,9 +47,10 @@ func (o Ordering) String() string {
 }
 
 // Order computes a permutation p for matrix a under the chosen strategy.
-// Column/row k of the permuted matrix is p[k] of the original.
+// Column/row k of the permuted matrix is p[k] of the original. OrderDefault
+// resolves to OrderRCM.
 func Order(a *CSC, o Ordering) []int {
-	switch o {
+	switch o.Resolve() {
 	case OrderRCM:
 		return RCM(a)
 	case OrderMinDegree:

@@ -10,11 +10,34 @@ import (
 	"github.com/matex-sim/matex/internal/waveform"
 )
 
+// quantizeStep snaps h down to the nearest point of the geometric grid
+// href·(√2)^k, k ≥ 0. Snapping down keeps the LTE-chosen bound honored;
+// quantizing at all makes recurring step sizes bit-identical, so with a
+// factorization cache a revisited step size is a cache hit instead of a
+// fresh factorization of (C/h + G/2).
+func quantizeStep(h, href float64) float64 {
+	if h <= href {
+		return href
+	}
+	// log_√2(x) = 2·log2(x); floor puts q at or below h.
+	k := math.Floor(2 * math.Log2(h/href))
+	q := href * math.Pow(math.Sqrt2, k)
+	for q > h {
+		q /= math.Sqrt2
+	}
+	if q < href {
+		q = href
+	}
+	return q
+}
+
 // simulateAdaptiveTR runs trapezoidal integration with local-truncation-error
 // step control. Unlike the fixed-step framework, every accepted step-size
 // change forces a re-factorization of (C/h + G/2) — exactly the cost the
 // paper's MATEX avoids. Steps are clamped to the next input transition spot
-// so slope discontinuities are never integrated across.
+// so slope discontinuities are never integrated across, and accepted step
+// sizes are quantized to a geometric √2 grid so that recurring sizes share
+// one factorization cache entry (Options.Cache).
 func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.Tstop <= 0 {
@@ -48,14 +71,13 @@ func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 	hFactored := -1.0
 	refactor := func(hNew float64) error {
 		t0 := time.Now()
-		a, err := sparse.Factor(sparse.Add(1/hNew, sys.C, 0.5, sys.G), opts.FactorKind, opts.Ordering)
+		a, err := acquireFactorSum(1/hNew, sys.C, 0.5, sys.G, opts, &res.Stats)
 		if err != nil {
 			return fmt.Errorf("transient: TR re-factorization at h=%g: %w", hNew, err)
 		}
 		lhs = a
 		rhsMat = sparse.Add(1/hNew, sys.C, -0.5, sys.G)
 		hFactored = hNew
-		res.Stats.Factorizations++
 		res.Stats.FactorTime += time.Since(t0)
 		return nil
 	}
@@ -71,8 +93,9 @@ func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 	res.record(0, x, opts.Probes, opts.KeepFull)
 	t := 0.0
 	for t < opts.Tstop-waveform.SpotEps {
-		// Clamp to the next transition spot and the window end.
-		hStep := h
+		// Quantize the controller's step onto the geometric grid, then
+		// clamp to the next transition spot and the window end.
+		hStep := quantizeStep(h, hMin)
 		if next, ok := nextSpot(gts, t); ok && t+hStep > next {
 			hStep = next - t
 		}

@@ -1,0 +1,150 @@
+package transient
+
+import (
+	"math"
+	"testing"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/sparse"
+)
+
+func ibmSystem(t *testing.T, scale float64) *circuit.System {
+	t.Helper()
+	spec, err := pdn.IBMCase("ibmpg1t", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := circuit.Stamp(ckt, circuit.StampOptions{CollapseSupplies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestAdaptiveTRCacheFewerFactorizations is the tentpole acceptance test:
+// on an IBM-case benchmark the cached adaptive-TR run must perform strictly
+// fewer factorizations than the uncached run (step quantization makes
+// revisited step sizes cache hits), while producing the same waveform —
+// the step sequence is identical with and without the cache, only the
+// factorization reuse differs.
+func TestAdaptiveTRCacheFewerFactorizations(t *testing.T) {
+	sys := ibmSystem(t, 0.2)
+	probes := []int{0, sys.NumNodes / 2, sys.NumNodes - 1}
+	base := Options{Tstop: 10e-9, Tol: 1e-4, Probes: probes}
+
+	uncached, err := Simulate(sys, TRAdaptive, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache := base
+	withCache.Cache = sparse.NewCache(0)
+	cached, err := Simulate(sys, TRAdaptive, withCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cached.Stats.Factorizations >= uncached.Stats.Factorizations {
+		t.Errorf("cached run factorized %d times, uncached %d — want strictly fewer",
+			cached.Stats.Factorizations, uncached.Stats.Factorizations)
+	}
+	if cached.Stats.CacheHits == 0 {
+		t.Error("cached run recorded no cache hits")
+	}
+	if cached.Stats.CacheHits+cached.Stats.CacheMisses !=
+		uncached.Stats.Factorizations {
+		t.Errorf("cache accounting: %d hits + %d misses != %d uncached factorizations",
+			cached.Stats.CacheHits, cached.Stats.CacheMisses, uncached.Stats.Factorizations)
+	}
+
+	// Identical step sequence → identical grids; waveforms within 1e-6.
+	if len(cached.Times) != len(uncached.Times) {
+		t.Fatalf("grids differ: %d vs %d points", len(cached.Times), len(uncached.Times))
+	}
+	var maxDiff float64
+	for i := range cached.Times {
+		if cached.Times[i] != uncached.Times[i] {
+			t.Fatalf("time grid diverges at %d: %g vs %g", i, cached.Times[i], uncached.Times[i])
+		}
+		for k := range probes {
+			if d := math.Abs(cached.Probes[i][k] - uncached.Probes[i][k]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Errorf("cached waveform deviates %.3g V from uncached (budget 1e-6)", maxDiff)
+	}
+	t.Logf("factorizations: %d uncached → %d cached (%d hits)",
+		uncached.Stats.Factorizations, cached.Stats.Factorizations, cached.Stats.CacheHits)
+}
+
+// TestCacheSharedAcrossMethods: one cache serves every solver family — the
+// G factorization computed by the first run is a hit for the others, and a
+// repeated identical run performs zero new factorizations.
+func TestCacheSharedAcrossMethods(t *testing.T) {
+	sys := ibmSystem(t, 0.2)
+	cache := sparse.NewCache(0)
+	opts := Options{Tstop: 10e-9, Tol: 1e-6, Cache: cache}
+
+	resI, err := Simulate(sys, IMATEX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resI.Stats.Factorizations != 1 || resI.Stats.CacheMisses != 1 {
+		t.Errorf("first I-MATEX run: %d factorizations / %d misses, want 1/1",
+			resI.Stats.Factorizations, resI.Stats.CacheMisses)
+	}
+	// R-MATEX reuses the cached G (DC solve) and adds only C + γG.
+	resR, err := Simulate(sys, RMATEX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resR.Stats.Factorizations != 1 {
+		t.Errorf("R-MATEX after I-MATEX factorized %d times, want 1 (G cached)", resR.Stats.Factorizations)
+	}
+	if resR.Stats.CacheHits == 0 {
+		t.Error("R-MATEX did not hit the shared G entry")
+	}
+	// Identical repeat: zero new factorizations.
+	resR2, err := Simulate(sys, RMATEX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resR2.Stats.Factorizations != 0 {
+		t.Errorf("repeated R-MATEX run factorized %d times, want 0", resR2.Stats.Factorizations)
+	}
+	// And the answers are bit-identical (same factorization objects).
+	for i := range resR.Final {
+		if resR.Final[i] != resR2.Final[i] {
+			t.Fatal("repeated cached run diverged")
+		}
+	}
+}
+
+// TestQuantizeStep pins the geometric-grid snapping: results lie on
+// href·√2^k, never exceed h, and never fall below href.
+func TestQuantizeStep(t *testing.T) {
+	href := 1e-18
+	for _, h := range []float64{1e-18, 1.4e-18, 3.7e-15, 2.2e-12, 1e-9, 5e-9} {
+		q := quantizeStep(h, href)
+		if q > h || q < href {
+			t.Fatalf("quantizeStep(%g) = %g out of (href, h]", h, q)
+		}
+		k := 2 * math.Log2(q/href)
+		if math.Abs(k-math.Round(k)) > 1e-6 {
+			t.Errorf("quantizeStep(%g) = %g not on the √2 grid (k=%g)", h, q, k)
+		}
+		// Idempotent: a grid value stays put.
+		if q2 := quantizeStep(q, href); q2 != q {
+			t.Errorf("quantizeStep not idempotent: %g → %g", q, q2)
+		}
+	}
+	if q := quantizeStep(0.5e-18, href); q != href {
+		t.Errorf("sub-href step = %g, want href", q)
+	}
+}

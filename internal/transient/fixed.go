@@ -11,6 +11,13 @@ import (
 
 // simulateFixed runs TR, BE or FE with a fixed step and a single
 // factorization (the TAU-contest framework the paper compares against).
+//
+// When Tstop is not an integer multiple of Step, a shortened final step
+// lands exactly on Tstop, so Result.Final is the state at Tstop and the
+// distributed superposition of fixed-step subtasks stays time-consistent
+// with the MATEX grid. The shortened step needs its own stepping matrix for
+// TR/BE (one extra factorization, served from Options.Cache when present);
+// FE's factorization of C is step-independent.
 func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.Step <= 0 || opts.Tstop <= 0 {
@@ -24,34 +31,50 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 	h := opts.Step
 	n := sys.N
 
-	tFac := time.Now()
-	var lhs sparse.Factorization
-	var rhsMat *sparse.CSC // multiplies x in the step right-hand side
-	switch method {
-	case TRFixed:
-		a, err := sparse.Factor(sparse.Add(1/h, sys.C, 0.5, sys.G), opts.FactorKind, opts.Ordering)
-		if err != nil {
-			return nil, fmt.Errorf("transient: TR factorization: %w", err)
-		}
-		lhs = a
-		rhsMat = sparse.Add(1/h, sys.C, -0.5, sys.G)
-	case BEFixed:
-		a, err := sparse.Factor(sparse.Add(1/h, sys.C, 1, sys.G), opts.FactorKind, opts.Ordering)
-		if err != nil {
-			return nil, fmt.Errorf("transient: BE factorization: %w", err)
-		}
-		lhs = a
-		rhsMat = sys.C.Clone().Scale(1 / h)
-	case FEFixed:
-		fc, err := factorC(sys, opts, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
-		lhs = fc
-	default:
-		return nil, fmt.Errorf("transient: simulateFixed got %v", method)
+	// Split the window into nFull whole steps plus an optional remainder.
+	// The small relative guard absorbs division noise so an exactly
+	// divisible window never grows a spurious sliver step.
+	nFull := int(opts.Tstop/h + 1e-9)
+	if nFull < 0 {
+		nFull = 0
 	}
-	res.Stats.Factorizations++
+	rem := opts.Tstop - float64(nFull)*h
+	if rem <= h*1e-9 {
+		rem = 0
+	}
+
+	// stepOperators builds the implicit-step LHS factorization and the RHS
+	// matrix for step size hs (TR/BE). FE factorizes C once, h-free.
+	stepOperators := func(hs float64) (sparse.Factorization, *sparse.CSC, error) {
+		switch method {
+		case TRFixed:
+			a, err := acquireFactorSum(1/hs, sys.C, 0.5, sys.G, opts, &res.Stats)
+			if err != nil {
+				return nil, nil, fmt.Errorf("transient: TR factorization: %w", err)
+			}
+			return a, sparse.Add(1/hs, sys.C, -0.5, sys.G), nil
+		case BEFixed:
+			a, err := acquireFactorSum(1/hs, sys.C, 1, sys.G, opts, &res.Stats)
+			if err != nil {
+				return nil, nil, fmt.Errorf("transient: BE factorization: %w", err)
+			}
+			return a, sys.C.Clone().Scale(1 / hs), nil
+		case FEFixed:
+			fc, err := factorC(sys, opts, &res.Stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			return fc, nil, nil
+		default:
+			return nil, nil, fmt.Errorf("transient: simulateFixed got %v", method)
+		}
+	}
+
+	tFac := time.Now()
+	lhs, rhsMat, err := stepOperators(h)
+	if err != nil {
+		return nil, err
+	}
 	res.Stats.FactorTime = time.Since(tFac)
 
 	tTr := time.Now()
@@ -59,14 +82,13 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 	bu1 := make([]float64, n)
 	rhs := make([]float64, n)
 	work := make([]float64, n)
-	res.record(0, x, opts.Probes, opts.KeepFull)
-	steps := int(opts.Tstop/h + 0.5)
-	for k := 0; k < steps; k++ {
-		t := float64(k) * h
+
+	// step advances x from t0 to t1 = t0 + hs with the given operators.
+	step := func(t0, t1, hs float64, lhs sparse.Factorization, rhsMat *sparse.CSC) {
 		switch method {
 		case TRFixed:
-			sys.EvalB(t, bu0, opts.ActiveInputs)
-			sys.EvalB(t+h, bu1, opts.ActiveInputs)
+			sys.EvalB(t0, bu0, opts.ActiveInputs)
+			sys.EvalB(t1, bu1, opts.ActiveInputs)
 			rhsMat.MulVec(rhs, x)
 			res.Stats.SpMVs++
 			for i := range rhs {
@@ -75,7 +97,7 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			lhs.SolveWith(x, rhs, work)
 			res.Stats.SolvePairs++
 		case BEFixed:
-			sys.EvalB(t+h, bu1, opts.ActiveInputs)
+			sys.EvalB(t1, bu1, opts.ActiveInputs)
 			rhsMat.MulVec(rhs, x)
 			res.Stats.SpMVs++
 			for i := range rhs {
@@ -85,7 +107,7 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			res.Stats.SolvePairs++
 		case FEFixed:
 			// x' = C⁻¹(-Gx + Bu): one SpMV plus one substitution pair.
-			sys.EvalB(t, bu0, opts.ActiveInputs)
+			sys.EvalB(t0, bu0, opts.ActiveInputs)
 			sys.G.MulVec(rhs, x)
 			res.Stats.SpMVs++
 			for i := range rhs {
@@ -94,11 +116,33 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			lhs.SolveWith(rhs, rhs, work)
 			res.Stats.SolvePairs++
 			for i := range x {
-				x[i] += h * rhs[i]
+				x[i] += hs * rhs[i]
 			}
 		}
 		res.Stats.Steps++
-		res.record(t+h, x, opts.Probes, opts.KeepFull)
+		res.record(t1, x, opts.Probes, opts.KeepFull)
+	}
+
+	res.record(0, x, opts.Probes, opts.KeepFull)
+	for k := 0; k < nFull; k++ {
+		t0 := float64(k) * h
+		t1 := float64(k+1) * h
+		if k == nFull-1 && rem == 0 {
+			t1 = opts.Tstop // land exactly on the window end
+		}
+		step(t0, t1, h, lhs, rhsMat)
+	}
+	if rem > 0 {
+		lhsRem, rhsRem := lhs, rhsMat
+		if method != FEFixed {
+			tFac := time.Now()
+			lhsRem, rhsRem, err = stepOperators(rem)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.FactorTime += time.Since(tFac)
+		}
+		step(float64(nFull)*h, opts.Tstop, rem, lhsRem, rhsRem)
 	}
 	res.Stats.TransientTime = time.Since(tTr)
 	res.Final = append([]float64(nil), x...)
@@ -108,9 +152,8 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 // factorC factorizes C, regularizing a singular C with a small diagonal
 // shift (the concession MEXP needs; paper Sec. 3.3.3).
 func factorC(sys *circuit.System, opts Options, stats *Stats) (sparse.Factorization, error) {
-	fc, err := sparse.Factor(sys.C, opts.FactorKind, opts.Ordering)
+	fc, err := acquireFactor(sys.C, opts, stats)
 	if err == nil {
-		stats.Factorizations++
 		return fc, nil
 	}
 	if !errors.Is(err, sparse.ErrSingular) {
@@ -120,12 +163,10 @@ func factorC(sys *circuit.System, opts Options, stats *Stats) (sparse.Factorizat
 	if delta == 0 {
 		delta = 1e-18
 	}
-	reg := sparse.Add(1, sys.C, delta, sparse.Identity(sys.N))
-	fc, err = sparse.Factor(reg, opts.FactorKind, opts.Ordering)
+	fc, err = acquireFactorSum(1, sys.C, delta, sparse.Identity(sys.N), opts, stats)
 	if err != nil {
 		return nil, fmt.Errorf("transient: regularized C still singular: %w", err)
 	}
-	stats.Factorizations++
 	stats.Regularized = true
 	return fc, nil
 }

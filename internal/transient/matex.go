@@ -8,7 +8,6 @@ import (
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/krylov"
-	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/waveform"
 )
 
@@ -79,15 +78,9 @@ func SimulateMatex(sys *circuit.System, method Method, opts Options) (*Result, e
 	case IMATEX:
 		return nil, errInvertedHandledSeparately
 	case RMATEX:
-		fs := opts.PreShift
-		if fs == nil {
-			shift := sparse.Add(1, sys.C, opts.Gamma, sys.G)
-			var err error
-			fs, err = sparse.Factor(shift, opts.FactorKind, opts.Ordering)
-			if err != nil {
-				return nil, fmt.Errorf("transient: factorizing (C+γG): %w", err)
-			}
-			res.Stats.Factorizations++
+		fs, err := acquireFactorSum(1, sys.C, opts.Gamma, sys.G, opts, &res.Stats)
+		if err != nil {
+			return nil, fmt.Errorf("transient: factorizing (C+γG): %w", err)
 		}
 		op = krylov.NewRationalOp(fs, sys.C, sys.G, opts.Gamma, count)
 	default:

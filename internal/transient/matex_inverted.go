@@ -7,7 +7,6 @@ import (
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/krylov"
-	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/waveform"
 )
 
@@ -47,14 +46,9 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 		// No extra factorization: the operator reuses LU(G) from DC analysis.
 		op = krylov.NewInvertedOp(factG, sys.C, sys.G, count)
 	case RMATEX:
-		fs := opts.PreShift
-		if fs == nil {
-			var err error
-			fs, err = sparse.Factor(sparse.Add(1, sys.C, opts.Gamma, sys.G), opts.FactorKind, opts.Ordering)
-			if err != nil {
-				return nil, fmt.Errorf("transient: factorizing (C+γG): %w", err)
-			}
-			res.Stats.Factorizations++
+		fs, err := acquireFactorSum(1, sys.C, opts.Gamma, sys.G, opts, &res.Stats)
+		if err != nil {
+			return nil, fmt.Errorf("transient: factorizing (C+γG): %w", err)
 		}
 		op = krylov.NewRationalOp(fs, sys.C, sys.G, opts.Gamma, count)
 		op.ClearSegment() // Eq. 5 handles inputs; the operator stays input-free

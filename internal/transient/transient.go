@@ -111,13 +111,15 @@ type Options struct {
 	ActiveInputs []bool
 	// InitialState overrides the DC operating point as x(0).
 	InitialState []float64
-	// PreG, when non-nil, is a shared factorization of G; PreShift one of
-	// (C + Gamma·G). The in-process scheduler computes them once and hands
-	// them to every subtask, since all subtasks share the same matrices.
-	// They do not travel over RPC (remote workers factorize their own
-	// local copy, like the paper's cluster nodes).
-	PreG     sparse.Factorization `json:"-"`
-	PreShift sparse.Factorization `json:"-"`
+	// Cache, when non-nil, is a shared content-addressed factorization
+	// cache: every factorization the run needs (G, C, C/h + G/2, C + γG,
+	// ...) is looked up by matrix content × kind × ordering × scalars
+	// before being computed. Sharing one Cache across solvers, adaptive
+	// steps, repeated runs and distributed subtasks eliminates redundant
+	// factorizations; hits and misses are reported in Stats. The cache
+	// does not travel over RPC (remote workers keep their own, like the
+	// paper's cluster nodes).
+	Cache *sparse.Cache `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -130,9 +132,8 @@ func (o Options) withDefaults() Options {
 	if o.MaxDim <= 0 {
 		o.MaxDim = 256
 	}
-	if o.Ordering == sparse.OrderNatural {
-		o.Ordering = sparse.OrderRCM
-	}
+	// Only the explicit zero value is rewritten: OrderNatural stays natural.
+	o.Ordering = o.Ordering.Resolve()
 	return o
 }
 
@@ -147,9 +148,15 @@ type Stats struct {
 	Steps          int
 	Rejected       int
 	Regularized    bool // MEXP had to regularize a singular C
-	DCTime         time.Duration
-	FactorTime     time.Duration
-	TransientTime  time.Duration
+	// CacheHits/CacheMisses count factorization acquisitions served from /
+	// added to Options.Cache; Factorizations counts only factorizations
+	// actually computed, so the paper's cost comparison stays honest when
+	// the cache is on.
+	CacheHits     int
+	CacheMisses   int
+	DCTime        time.Duration
+	FactorTime    time.Duration
+	TransientTime time.Duration
 }
 
 // MA returns the average generated Krylov dimension (paper's m_a).
@@ -207,19 +214,29 @@ func (r *Result) record(t float64, x []float64, probes []int, keepFull bool) {
 	}
 }
 
-// ProbeSeries extracts the trace of probe column k.
+// ProbeSeries extracts the trace of probe column k. A result recorded
+// without probes (or an out-of-range column) yields an empty series rather
+// than a panic.
 func (r *Result) ProbeSeries(k int) []float64 {
+	if len(r.Probes) < len(r.Times) || k < 0 {
+		return nil
+	}
 	out := make([]float64, len(r.Times))
 	for i := range r.Times {
+		if k >= len(r.Probes[i]) {
+			return nil
+		}
 		out[i] = r.Probes[i][k]
 	}
 	return out
 }
 
-// InterpProbe linearly interpolates probe column k at time t.
+// InterpProbe linearly interpolates probe column k at time t. A result
+// recorded without probes (or an out-of-range column) yields NaN rather
+// than a panic.
 func (r *Result) InterpProbe(t float64, k int) float64 {
 	n := len(r.Times)
-	if n == 0 {
+	if n == 0 || len(r.Probes) < n || k < 0 || k >= len(r.Probes[0]) {
 		return math.NaN()
 	}
 	if t <= r.Times[0] {
@@ -251,6 +268,55 @@ func Simulate(sys *circuit.System, method Method, opts Options) (*Result, error)
 	}
 }
 
+// acquireFactor obtains a factorization of a, consulting the run cache when
+// one is configured and updating the work counters either way.
+func acquireFactor(a *sparse.CSC, opts Options, stats *Stats) (sparse.Factorization, error) {
+	if opts.Cache != nil {
+		f, hit, err := opts.Cache.Factor(a, opts.FactorKind, opts.Ordering)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			stats.CacheHits++
+		} else {
+			stats.CacheMisses++
+			stats.Factorizations++
+		}
+		return f, nil
+	}
+	f, err := sparse.Factor(a, opts.FactorKind, opts.Ordering)
+	if err != nil {
+		return nil, err
+	}
+	stats.Factorizations++
+	return f, nil
+}
+
+// acquireFactorSum obtains a factorization of alpha·a + beta·b, consulting
+// the run cache when one is configured. On a cache hit the sum matrix is
+// never even built.
+func acquireFactorSum(alpha float64, a *sparse.CSC, beta float64, b *sparse.CSC, opts Options, stats *Stats) (sparse.Factorization, error) {
+	if opts.Cache != nil {
+		f, hit, err := opts.Cache.FactorSum(alpha, a, beta, b, opts.FactorKind, opts.Ordering)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			stats.CacheHits++
+		} else {
+			stats.CacheMisses++
+			stats.Factorizations++
+		}
+		return f, nil
+	}
+	f, err := sparse.Factor(sparse.Add(alpha, a, beta, b), opts.FactorKind, opts.Ordering)
+	if err != nil {
+		return nil, err
+	}
+	stats.Factorizations++
+	return f, nil
+}
+
 // initialState resolves x(0): the caller-provided state or the DC operating
 // point. It returns the state, the factorization of G (reused by the MATEX
 // input terms), and updates stats.
@@ -258,14 +324,10 @@ func initialState(sys *circuit.System, opts Options, stats *Stats) ([]float64, s
 	t0 := time.Now()
 	defer func() { stats.DCTime += time.Since(t0) }()
 	factG := func() (sparse.Factorization, error) {
-		if opts.PreG != nil {
-			return opts.PreG, nil
-		}
-		fg, err := sparse.Factor(sys.G, opts.FactorKind, opts.Ordering)
+		fg, err := acquireFactor(sys.G, opts, stats)
 		if err != nil {
 			return nil, fmt.Errorf("transient: factorizing G: %w", err)
 		}
-		stats.Factorizations++
 		return fg, nil
 	}
 	if opts.InitialState != nil {

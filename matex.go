@@ -30,9 +30,47 @@ import (
 	"github.com/matex-sim/matex/internal/dist"
 	"github.com/matex-sim/matex/internal/netlist"
 	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
 	"github.com/matex-sim/matex/internal/waveform"
 )
+
+// Sparse solver configuration and the factorization cache.
+type (
+	// FactorKind selects the sparse factorization algorithm.
+	FactorKind = sparse.FactorKind
+	// Ordering selects the fill-reducing ordering strategy.
+	Ordering = sparse.Ordering
+	// FactorCache is a concurrency-safe, content-addressed factorization
+	// cache with an LRU byte budget. Share one instance via Options.Cache /
+	// DistConfig.Cache to eliminate redundant factorizations across
+	// solvers, adaptive steps, and repeated or distributed runs.
+	FactorCache = sparse.Cache
+	// FactorCacheStats is a snapshot of cache effectiveness counters.
+	FactorCacheStats = sparse.CacheStats
+)
+
+const (
+	// FactorAuto tries LDLᵀ on symmetric matrices, falling back to LU.
+	FactorAuto = sparse.FactorAuto
+	// FactorGPLU always uses Gilbert-Peierls LU with partial pivoting.
+	FactorGPLU = sparse.FactorGPLU
+	// FactorLDLt always uses LDLᵀ.
+	FactorLDLt = sparse.FactorLDLt
+
+	// OrderDefault (the zero value) resolves to OrderRCM.
+	OrderDefault = sparse.OrderDefault
+	// OrderNatural keeps the input order.
+	OrderNatural = sparse.OrderNatural
+	// OrderRCM applies reverse Cuthill-McKee.
+	OrderRCM = sparse.OrderRCM
+	// OrderMinDegree applies a greedy minimum-degree ordering.
+	OrderMinDegree = sparse.OrderMinDegree
+)
+
+// NewFactorCache returns a factorization cache bounded to roughly maxBytes
+// of factor storage; maxBytes <= 0 selects the default budget.
+func NewFactorCache(maxBytes int64) *FactorCache { return sparse.NewCache(maxBytes) }
 
 // Circuit building and MNA assembly.
 type (

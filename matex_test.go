@@ -147,3 +147,52 @@ func TestFacadeBuilders(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFacadeFactorCache drives the exported cache and solver-configuration
+// surface: a shared FactorCache across plain and distributed runs, the
+// ordering constants, and the stats counters.
+func TestFacadeFactorCache(t *testing.T) {
+	spec, err := IBMCase("ibmpg1t", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Stamp(ckt, StampOptions{CollapseSupplies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewFactorCache(64 << 20)
+	opts := Options{
+		Tstop: 10e-9, Tol: 1e-7, Probes: []int{0},
+		FactorKind: FactorAuto, Ordering: OrderRCM, Cache: cache,
+	}
+	if _, err := Simulate(sys, RMATEX, opts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sys, RMATEX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Factorizations != 0 || res.Stats.CacheHits == 0 {
+		t.Errorf("repeat run: %d factorizations, %d hits — want 0 and >0",
+			res.Stats.Factorizations, res.Stats.CacheHits)
+	}
+	// The distributed scheduler shares the same cache: its DC solve and
+	// subtasks hit the entries the plain runs created (same G, same C+γG).
+	dres, _, err := SimulateDistributed(sys, DistConfig{
+		Tstop: 10e-9, Tol: 1e-7, Probes: []int{0}, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Stats.Factorizations != 0 {
+		t.Errorf("distributed run with warm cache factorized %d times, want 0",
+			dres.Stats.Factorizations)
+	}
+	if st := cache.Stats(); st.Entries == 0 || st.Hits == 0 {
+		t.Errorf("cache stats empty: %+v", st)
+	}
+}
