@@ -23,6 +23,7 @@ import (
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/netlist"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
@@ -54,6 +55,7 @@ func main() {
 	distributed := flag.Bool("distributed", false, "decompose sources by bump feature and superpose")
 	workers := flag.String("workers", "", "comma-separated matexd TCP addresses (implies -distributed)")
 	order := flag.String("order", "default", "fill-reducing ordering: default (=rcm), natural, rcm, mindeg")
+	krylovFlag := flag.String("krylov", "auto", "Krylov subspace process: auto (symmetric Lanczos fast path where eligible), arnoldi, lanczos")
 	cacheMB := flag.Int("cache-mb", 256, "factorization cache budget in MiB (0 disables the cache)")
 	stats := flag.Bool("stats", false, "print solver work statistics to stderr")
 	flag.Parse()
@@ -70,6 +72,10 @@ func main() {
 	ord, ok := orderings[strings.ToLower(*order)]
 	if !ok {
 		fatal(fmt.Errorf("unknown ordering %q", *order))
+	}
+	km, err := krylov.ParseMethod(strings.ToLower(*krylovFlag))
+	if err != nil {
+		fatal(err)
 	}
 	var cache *sparse.Cache
 	if *cacheMB > 0 {
@@ -134,7 +140,7 @@ func main() {
 		}
 		cfg := dist.Config{
 			Method: m, Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
-			Ordering: ord, Cache: cache,
+			Ordering: ord, Cache: cache, Krylov: km,
 		}
 		if *workers != "" {
 			pool, err := dist.NewRPCPool(sys, strings.Split(*workers, ","))
@@ -147,7 +153,7 @@ func main() {
 	} else {
 		res, err = transient.Simulate(sys, m, transient.Options{
 			Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
-			Ordering: ord, Cache: cache,
+			Ordering: ord, Cache: cache, Krylov: km,
 		})
 	}
 	if err != nil {
@@ -174,8 +180,8 @@ func main() {
 				rep.Groups, rep.Retried, rep.MaxNodeTime, rep.MaxNodeTrTime)
 		}
 		s := &res.Stats
-		fmt.Fprintf(os.Stderr, "factorizations=%d cache_hits=%d cache_misses=%d solve_pairs=%d spmvs=%d expm_evals=%d steps=%d m_a=%.1f m_p=%d dc=%v factor=%v transient=%v\n",
-			s.Factorizations, s.CacheHits, s.CacheMisses, s.SolvePairs, s.SpMVs, s.ExpmEvals, s.Steps, s.MA(), s.MP(), s.DCTime, s.FactorTime, s.TransientTime)
+		fmt.Fprintf(os.Stderr, "factorizations=%d cache_hits=%d cache_misses=%d solve_pairs=%d spmvs=%d expm_evals=%d steps=%d m_a=%.1f m_p=%d lanczos_spots=%d/%d dc=%v factor=%v transient=%v\n",
+			s.Factorizations, s.CacheHits, s.CacheMisses, s.SolvePairs, s.SpMVs, s.ExpmEvals, s.Steps, s.MA(), s.MP(), s.LanczosSpots, len(s.KrylovDims), s.DCTime, s.FactorTime, s.TransientTime)
 	}
 }
 

@@ -1,0 +1,122 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// triDense expands (d, e) into the full symmetric tridiagonal matrix.
+func triDense(d, e []float64) *Matrix {
+	n := len(d)
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, d[i])
+		if i+1 < n {
+			m.Set(i, i+1, e[i])
+			m.Set(i+1, i, e[i])
+		}
+	}
+	return m
+}
+
+func TestSymTriEigMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 21, 34} {
+		for trial := 0; trial < 5; trial++ {
+			d := make([]float64, n)
+			e := make([]float64, n)
+			for i := range d {
+				d[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(5)-2))
+			}
+			for i := 0; i < n-1; i++ {
+				e[i] = rng.NormFloat64()
+			}
+			a := triDense(d, e[:maxInt(n-1, 0)])
+			scale := a.FrobNorm()
+			if scale == 0 {
+				scale = 1
+			}
+
+			dd := append([]float64(nil), d...)
+			ee := append([]float64(nil), e...)
+			z := Eye(n)
+			if err := SymTriEig(dd, ee, z); err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+
+			// Eigenpair residual ‖A·q − λq‖ and orthonormality of Q.
+			for k := 0; k < n; k++ {
+				var res float64
+				for i := 0; i < n; i++ {
+					var s float64
+					for j := 0; j < n; j++ {
+						s += a.At(i, j) * z.At(j, k)
+					}
+					s -= dd[k] * z.At(i, k)
+					res += s * s
+				}
+				if math.Sqrt(res) > 1e-10*scale {
+					t.Errorf("n=%d trial=%d: eigenpair %d residual %g", n, trial, k, math.Sqrt(res))
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					var s float64
+					for k := 0; k < n; k++ {
+						s += z.At(k, i) * z.At(k, j)
+					}
+					want := 0.0
+					if i == j {
+						want = 1
+					}
+					if math.Abs(s-want) > 1e-10 {
+						t.Errorf("n=%d trial=%d: QᵀQ[%d][%d] = %g", n, trial, i, j, s)
+					}
+				}
+			}
+
+			// Spectrum matches the Jacobi reference.
+			ref, _, err := SymEig(a, 1e-14, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]float64(nil), dd...)
+			sort.Float64s(got)
+			for k := range ref {
+				if math.Abs(got[k]-ref[k]) > 1e-9*scale {
+					t.Errorf("n=%d trial=%d: eigenvalue %d = %g, Jacobi %g", n, trial, k, got[k], ref[k])
+				}
+			}
+		}
+	}
+}
+
+func TestSymTriEigClusteredAndZero(t *testing.T) {
+	// Repeated eigenvalues and an all-zero matrix must not trip the QL sweep.
+	d := []float64{2, 2, 2, 2}
+	e := []float64{0, 0, 0}
+	dd := append([]float64(nil), d...)
+	ee := append(append([]float64(nil), e...), 0)
+	z := Eye(4)
+	if err := SymTriEig(dd, ee, z); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dd {
+		if v != 2 {
+			t.Errorf("clustered eigenvalue drifted to %g", v)
+		}
+	}
+	zero := make([]float64, 3)
+	if err := SymTriEig(zero, make([]float64, 3), Eye(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
 	"github.com/matex-sim/matex/internal/waveform"
@@ -103,6 +104,11 @@ type Config struct {
 	// still share factorizations within the run). The cache never travels
 	// over RPC: matexd workers keep their own per-process cache.
 	Cache *sparse.Cache
+	// Krylov selects the subspace process on every node (auto routes each
+	// spot to the symmetric Lanczos fast path when it qualifies). It
+	// travels with the subtask request, so matexd workers follow the
+	// scheduler's choice.
+	Krylov krylov.Method
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +166,7 @@ func subtaskRequest(cfg Config, gts []float64) Request {
 		EvalTimes:  gts,
 		FactorKind: cfg.FactorKind,
 		Ordering:   cfg.Ordering,
+		Krylov:     cfg.Krylov,
 	}
 }
 
@@ -185,11 +192,12 @@ func zeroStateSystem(sys *circuit.System) *circuit.System {
 }
 
 // subtaskOptions assembles the transient.Options for one task against the
-// zero-based system view. cache is the node's factorization cache: on the
-// scheduler it is shared by every in-process subtask, on a matexd worker it
-// is the worker's own (factorizations never travel, like the paper's
-// cluster machines).
-func subtaskOptions(sub *circuit.System, task Task, req Request, cache *sparse.Cache) transient.Options {
+// zero-based system view. cache and workspaces are the node's shared
+// resources: on the scheduler they are shared by every in-process subtask,
+// on a matexd worker they are the worker's own (neither travels over RPC,
+// like the paper's cluster machines) — so repeated subtasks reuse both the
+// factorizations and the Krylov arenas of their predecessors.
+func subtaskOptions(sub *circuit.System, task Task, req Request, cache *sparse.Cache, workspaces *krylov.WorkspacePool) transient.Options {
 	active := make([]bool, len(sub.Inputs))
 	for _, k := range task.InputIdx {
 		active[k] = true
@@ -207,5 +215,7 @@ func subtaskOptions(sub *circuit.System, task Task, req Request, cache *sparse.C
 		ActiveInputs: active,
 		InitialState: make([]float64, sub.N),
 		Cache:        cache,
+		Krylov:       req.Krylov,
+		Workspaces:   workspaces,
 	}
 }

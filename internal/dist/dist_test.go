@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/pdn"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
@@ -480,5 +481,45 @@ func TestDistLocalPoolSharesFactorizations(t *testing.T) {
 	}
 	if res.Stats.CacheHits == 0 {
 		t.Error("subtasks recorded no cache hits on the shared pool cache")
+	}
+}
+
+// TestDistKrylovLanczos: the Krylov method travels with the request, the
+// zero-state subtasks take the fast path on their quiet segments, and the
+// superposed waveform matches the pinned-Arnoldi distributed run to the
+// solver tolerance class.
+func TestDistKrylovLanczos(t *testing.T) {
+	sys := testSystem(t, 0.25)
+	probes := testProbes(sys)
+	ref, _, err := Run(sys, Config{
+		Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-9, Probes: probes,
+		Krylov: krylov.MethodArnoldi,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.LanczosSpots != 0 {
+		t.Fatalf("arnoldi-pinned run aggregated %d Lanczos spots", ref.Stats.LanczosSpots)
+	}
+	res, _, err := Run(sys, Config{
+		Method: transient.RMATEX, Tstop: 10e-9, Tol: 1e-9, Probes: probes,
+		Krylov: krylov.MethodLanczos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LanczosSpots == 0 {
+		t.Error("distributed run aggregated no Lanczos spots (zero-state subtasks are mostly flat segments)")
+	}
+	var scale float64 = 1
+	for i := range ref.Times {
+		for k := range probes {
+			if a := math.Abs(ref.Probes[i][k]); a > scale {
+				scale = a
+			}
+		}
+	}
+	if d := maxDeviation(t, res, ref, len(probes)); d > 1e-8*scale {
+		t.Errorf("lanczos vs arnoldi distributed waveforms differ by %g (scale %g)", d, scale)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
 )
@@ -13,7 +14,8 @@ import (
 // Request is the solver configuration shared by every subtask of one
 // distributed run. It is wire-friendly: everything a remote worker needs to
 // reproduce the scheduler's transient.Options except the shared
-// factorizations, which never travel (workers factorize their own copy).
+// factorizations and Krylov arenas, which never travel (workers keep their
+// own).
 type Request struct {
 	Method                  transient.Method
 	Tstop, Step, Tol, Gamma float64
@@ -23,6 +25,9 @@ type Request struct {
 	EvalTimes  []float64
 	FactorKind sparse.FactorKind
 	Ordering   sparse.Ordering
+	// Krylov is the subspace process every node runs (auto / arnoldi /
+	// lanczos; see krylov.Method).
+	Krylov krylov.Method
 }
 
 // TaskResult is one solved subtask.
@@ -46,25 +51,29 @@ type Pool interface {
 }
 
 // localPool solves subtasks in-process. All subtasks share the zero-based
-// system view and one factorization cache, since every node operates on the
-// same matrices — the in-process analogue of the paper's cluster handing
-// each machine the same netlist. The cache's singleflight lookup means
-// concurrent subtasks needing the same operator (G, or C + γG for R-MATEX)
-// wait for one factorization instead of duplicating it.
+// system view, one factorization cache and one Krylov workspace pool, since
+// every node operates on the same matrices — the in-process analogue of the
+// paper's cluster handing each machine the same netlist. The cache's
+// singleflight lookup means concurrent subtasks needing the same operator
+// (G, or C + γG for R-MATEX) wait for one factorization instead of
+// duplicating it; the workspace pool hands each concurrent subtask an
+// exclusive arena and lets later subtasks reuse the buffers of finished
+// ones, so a long distributed run stops allocating per spot.
 type localPool struct {
-	sub   *circuit.System
-	cache *sparse.Cache
+	sub        *circuit.System
+	cache      *sparse.Cache
+	workspaces *krylov.WorkspacePool
 }
 
 // newLocalPool wraps sys for zero-state subtasks sharing cache.
 func newLocalPool(sys *circuit.System, cache *sparse.Cache) *localPool {
-	return &localPool{sub: zeroStateSystem(sys), cache: cache}
+	return &localPool{sub: zeroStateSystem(sys), cache: cache, workspaces: krylov.NewWorkspacePool()}
 }
 
 // Solve implements Pool.
 func (p *localPool) Solve(task Task, req Request) (*TaskResult, error) {
 	start := time.Now()
-	opts := subtaskOptions(p.sub, task, req, p.cache)
+	opts := subtaskOptions(p.sub, task, req, p.cache, p.workspaces)
 	res, err := transient.Simulate(p.sub, req.Method, opts)
 	if err != nil {
 		return nil, fmt.Errorf("dist: group %d: %w", task.GroupID, err)

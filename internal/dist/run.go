@@ -186,6 +186,7 @@ func aggregate(dst, src *transient.Stats) {
 	dst.Regularized = dst.Regularized || src.Regularized
 	dst.CacheHits += src.CacheHits
 	dst.CacheMisses += src.CacheMisses
+	dst.LanczosSpots += src.LanczosSpots
 	dst.FactorTime += src.FactorTime
 }
 

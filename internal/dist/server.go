@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
 	"github.com/matex-sim/matex/internal/waveform"
@@ -108,6 +109,10 @@ type WorkerServer struct {
 	mu      sync.Mutex
 	systems map[uint64]*workerSystem
 	cache   *sparse.Cache
+	// workspaces is the worker's Krylov arena pool, shared across every
+	// subtask and every scheduler run against this process — the
+	// subspace-generation analogue of the factorization cache above.
+	workspaces *krylov.WorkspacePool
 }
 
 // NewWorkerServer returns an empty worker service for use with Serve, with
@@ -123,7 +128,11 @@ func NewWorkerServerWithCache(cache *sparse.Cache) *WorkerServer {
 	if cache == nil {
 		cache = sparse.NewCache(0)
 	}
-	return &WorkerServer{systems: make(map[uint64]*workerSystem), cache: cache}
+	return &WorkerServer{
+		systems:    make(map[uint64]*workerSystem),
+		cache:      cache,
+		workspaces: krylov.NewWorkspacePool(),
+	}
 }
 
 // CacheStats reports the worker's factorization cache counters.
@@ -167,7 +176,7 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	if !ok {
 		return fmt.Errorf("dist: unknown system %x (register it first)", args.SystemID)
 	}
-	opts := subtaskOptions(ws.sys, args.Task, args.Req, w.cache)
+	opts := subtaskOptions(ws.sys, args.Task, args.Req, w.cache, w.workspaces)
 	res, err := transient.Simulate(ws.sys, args.Req.Method, opts)
 	if err != nil {
 		return fmt.Errorf("dist: group %d: %w", args.Task.GroupID, err)

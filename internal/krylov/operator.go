@@ -13,6 +13,7 @@ package krylov
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/matex-sim/matex/internal/dense"
 	"github.com/matex-sim/matex/internal/sparse"
@@ -45,11 +46,13 @@ func (m Mode) String() string {
 
 // Counters accumulates the work metrics the paper reports: substitution
 // pairs (T_bs), sparse matrix-vector products, small expm evaluations (T_H)
-// and the dimension of every generated subspace (m_a, m_p).
+// and the dimension of every generated subspace (m_a, m_p). Lanczos counts
+// the subspaces generated through the symmetric three-term fast path.
 type Counters struct {
 	SolvePairs int
 	SpMVs      int
 	ExpmEvals  int
+	Lanczos    int
 	Dims       []int
 }
 
@@ -81,6 +84,7 @@ func (c *Counters) Merge(other *Counters) {
 	c.SolvePairs += other.SolvePairs
 	c.SpMVs += other.SpMVs
 	c.ExpmEvals += other.ExpmEvals
+	c.Lanczos += other.Lanczos
 	c.Dims = append(c.Dims, other.Dims...)
 }
 
@@ -121,6 +125,23 @@ type Op struct {
 	// C-solved b₀, b₁; for Rational the raw B·u(t) and slope s.
 	bcol0, bcol1 []float64
 	Count        *Counters
+	// sym records whether the stamped C and G are numerically symmetric
+	// (detected at construction), which makes the generated operator
+	// self-adjoint in a known inner product and unlocks the Lanczos
+	// three-term fast path. symOff is the caller override (SetSymmetric):
+	// e.g. MEXP disables the fast path after regularizing a singular C,
+	// since the factorized matrix then differs from the stamped one.
+	sym     bool
+	symOff  bool
+	segZero bool // both input columns are identically zero
+}
+
+// symTol returns the absolute tolerance for symmetry detection on m.
+func symTol(m *sparse.CSC) float64 { return 1e-12 * m.OneNorm() }
+
+// detectSym reports whether both stamped matrices are numerically symmetric.
+func detectSym(c, g *sparse.CSC) bool {
+	return c.IsSymmetric(symTol(c)) && g.IsSymmetric(symTol(g))
 }
 
 // NewStandardOp builds the MEXP operator over Ã. factC must factorize the
@@ -128,7 +149,8 @@ type Op struct {
 func NewStandardOp(factC sparse.Factorization, c, g *sparse.CSC, count *Counters) *Op {
 	n := factC.N()
 	return &Op{Mode: Standard, fact: factC, c: c, g: g, n: n,
-		work: make([]float64, n), bcol0: make([]float64, n), bcol1: make([]float64, n), Count: count}
+		work: make([]float64, n), bcol0: make([]float64, n), bcol1: make([]float64, n), Count: count,
+		sym: detectSym(c, g), segZero: true}
 }
 
 // NewInvertedOp builds the I-MATEX operator A⁻¹ = -G⁻¹C on the plain system
@@ -137,7 +159,8 @@ func NewStandardOp(factC sparse.Factorization, c, g *sparse.CSC, count *Counters
 func NewInvertedOp(factG sparse.Factorization, c, g *sparse.CSC, count *Counters) *Op {
 	n := factG.N()
 	return &Op{Mode: Inverted, fact: factG, c: c, g: g, n: n,
-		work: make([]float64, n), Count: count}
+		work: make([]float64, n), Count: count,
+		sym: detectSym(c, g), segZero: true}
 }
 
 // NewRationalOp builds the R-MATEX operator (I-γÃ)⁻¹. factShift must
@@ -145,7 +168,8 @@ func NewInvertedOp(factG sparse.Factorization, c, g *sparse.CSC, count *Counters
 func NewRationalOp(factShift sparse.Factorization, c, g *sparse.CSC, gamma float64, count *Counters) *Op {
 	n := factShift.N()
 	return &Op{Mode: Rational, Gamma: gamma, fact: factShift, c: c, g: g, n: n,
-		work: make([]float64, n), bcol0: make([]float64, n), bcol1: make([]float64, n), Count: count}
+		work: make([]float64, n), bcol0: make([]float64, n), bcol1: make([]float64, n), Count: count,
+		sym: detectSym(c, g), segZero: true}
 }
 
 // N returns the operator dimension: MNA dimension + 2 for the augmented
@@ -162,6 +186,7 @@ func (op *Op) N() int {
 // mode converts them through C⁻¹ (two substitution pairs); the shifted modes
 // use them as-is.
 func (op *Op) SetSegment(bu, s []float64) {
+	op.segZero = allZero(bu) && allZero(s)
 	switch op.Mode {
 	case Standard:
 		op.fact.SolveWith(op.bcol0, bu, op.work)
@@ -180,10 +205,157 @@ func (op *Op) SetSegment(bu, s []float64) {
 
 // ClearSegment zeroes the input terms (pure homogeneous system e^{hA}v).
 func (op *Op) ClearSegment() {
+	op.segZero = true
 	for i := range op.bcol0 {
 		op.bcol0[i] = 0
 		op.bcol1[i] = 0
 	}
+}
+
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetSymmetric overrides the construction-time symmetry detection:
+// SetSymmetric(false) disables the Lanczos fast path (used e.g. after MEXP
+// regularizes a singular C, where the factorized matrix no longer matches
+// the stamped one), SetSymmetric(true) forces it on for callers that know
+// their matrices are self-adjoint despite failing the numerical test.
+func (op *Op) SetSymmetric(sym bool) {
+	op.sym = sym
+	op.symOff = !sym
+}
+
+// SymmetricMatrices reports whether the stamped C and G are numerically
+// symmetric (and the caller has not overridden detection) — the
+// segment-independent part of the fast-path precondition. Solvers use it to
+// decide whether reformulating a segment (e.g. shifting out a constant
+// input) would make its spots Lanczos-eligible.
+func (op *Op) SymmetricMatrices() bool { return op.sym && !op.symOff }
+
+// Symmetric reports whether the generated operator is self-adjoint in the
+// operator's B-inner product (see ApplySym) — the structural precondition of
+// the Lanczos fast path. For the augmented modes this requires the input
+// columns to be zero; SymmetricFor additionally checks the start vector.
+func (op *Op) Symmetric() bool {
+	if !op.sym || op.symOff {
+		return false
+	}
+	if op.Mode == Inverted {
+		return true
+	}
+	return op.segZero
+}
+
+// SymmetricFor reports whether the Lanczos fast path applies to a subspace
+// generated from v: the operator must be symmetric-eligible and, for the
+// augmented modes, v must not excite the polynomial auxiliary chain (its two
+// trailing entries are zero), so the iteration stays inside the MNA block
+// where the operator is self-adjoint.
+func (op *Op) SymmetricFor(v []float64) bool {
+	if !op.Symmetric() {
+		return false
+	}
+	if op.Mode == Inverted {
+		return true
+	}
+	return len(v) == op.n+2 && v[op.n] == 0 && v[op.n+1] == 0
+}
+
+// ApplySym computes w = M·v together with bw = B·w, where B is the
+// inner-product matrix that makes the generated operator M self-adjoint:
+//
+//	Standard:  M = -C⁻¹G        B = C      (⟨Mx,y⟩_C = -xᵀGy)
+//	Inverted:  M = -G⁻¹C        B = G      (⟨Mx,y⟩_G = -xᵀCy)
+//	Rational:  M = (C+γG)⁻¹C    B = C+γG   (⟨Mx,y⟩_B = xᵀC(C+γG)⁻¹Cy)
+//
+// The companion product comes free: B·w equals the sparse product formed on
+// the way into the solve (±C·v or ±G·v), so the B-inner-product Lanczos
+// recurrence needs no extra SpMV per iteration. Only valid when
+// op.SymmetricFor(v); for augmented modes the auxiliary entries of v must be
+// zero and stay zero in w and bw.
+func (op *Op) ApplySym(w, bw, v []float64) {
+	n := op.n
+	switch op.Mode {
+	case Standard:
+		op.g.MulVec(bw[:n], v[:n])
+		op.fact.SolveWith(w[:n], bw[:n], op.work)
+		for i := 0; i < n; i++ {
+			w[i] = -w[i]
+			bw[i] = -bw[i]
+		}
+		w[n], w[n+1] = 0, 0
+		bw[n], bw[n+1] = 0, 0
+	case Inverted:
+		op.c.MulVec(bw, v)
+		op.fact.SolveWith(w, bw, op.work)
+		for i := range w {
+			w[i] = -w[i]
+			bw[i] = -bw[i]
+		}
+	case Rational:
+		op.c.MulVec(bw[:n], v[:n])
+		op.fact.SolveWith(w[:n], bw[:n], op.work)
+		w[n], w[n+1] = 0, 0
+		bw[n], bw[n+1] = 0, 0
+	}
+	if op.Count != nil {
+		op.Count.SpMVs++
+		op.Count.SolvePairs++
+	}
+}
+
+// applyB computes dst = B·v for the operator's inner-product matrix — needed
+// once per subspace, for the starting vector. Auxiliary entries stay zero.
+func (op *Op) applyB(dst, v []float64) {
+	n := op.n
+	switch op.Mode {
+	case Standard:
+		op.c.MulVec(dst[:n], v[:n])
+		dst[n], dst[n+1] = 0, 0
+	case Inverted:
+		op.g.MulVec(dst, v)
+	case Rational:
+		op.c.MulVec(dst[:n], v[:n])
+		op.g.MulVecAdd(dst[:n], op.Gamma, v[:n])
+		dst[n], dst[n+1] = 0, 0
+	}
+	if op.Count != nil {
+		op.Count.SpMVs++
+	}
+}
+
+// convertMu maps an eigenvalue λ of the generated operator's tridiagonal
+// projection to the corresponding eigenvalue of A (the spectral form of
+// ConvertH, Sec. 3.3). λ values in the clamped regime — at or beyond the
+// algebraic limit of the spectral transform, within rounding of it — map to
+// -Inf: an instantaneous mode that the exponential annihilates for any
+// h > 0, which is the correct physical limit (the dense path reaches the
+// same behavior through invertChecked's diagonal shifts).
+func (op *Op) convertMu(lam, lamScale float64) float64 {
+	const clamp = 1e-14
+	switch op.Mode {
+	case Standard:
+		return lam
+	case Inverted:
+		// λ = 1/μ with μ ≤ 0: λ ≥ -ε is an algebraic direction.
+		if lam >= -clamp*lamScale {
+			return math.Inf(-1)
+		}
+		return 1 / lam
+	case Rational:
+		// λ = 1/(1-γμ) ∈ (0, 1]: λ ≤ ε is a mode far beyond the shift.
+		if lam <= clamp*lamScale {
+			return math.Inf(-1)
+		}
+		return (1 - 1/lam) / op.Gamma
+	}
+	return math.NaN()
 }
 
 // Apply computes dst = M·v (dst and v must not alias; length op.N()).

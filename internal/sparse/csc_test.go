@@ -80,16 +80,44 @@ func TestTripletToCSCSumsDuplicates(t *testing.T) {
 	}
 }
 
-func TestCSCColumnsSorted(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	m := randomSparse(rng, 40, 0.2)
+// checkCSC asserts the full CSC invariant set every routine in this package
+// relies on — At's binary search in particular assumes strictly sorted,
+// duplicate-free row indices within each column.
+func checkCSC(t *testing.T, m *CSC) {
+	t.Helper()
+	if len(m.Colptr) != m.Cols+1 {
+		t.Fatalf("Colptr length %d, want %d", len(m.Colptr), m.Cols+1)
+	}
+	if m.Colptr[0] != 0 || m.Colptr[m.Cols] != len(m.Rowidx) || len(m.Rowidx) != len(m.Values) {
+		t.Fatalf("Colptr endpoints (%d, %d) inconsistent with %d row indices / %d values",
+			m.Colptr[0], m.Colptr[m.Cols], len(m.Rowidx), len(m.Values))
+	}
 	for j := 0; j < m.Cols; j++ {
-		for p := m.Colptr[j] + 1; p < m.Colptr[j+1]; p++ {
-			if m.Rowidx[p-1] >= m.Rowidx[p] {
+		if m.Colptr[j] > m.Colptr[j+1] {
+			t.Fatalf("Colptr not monotone at column %d", j)
+		}
+		for p := m.Colptr[j]; p < m.Colptr[j+1]; p++ {
+			if m.Rowidx[p] < 0 || m.Rowidx[p] >= m.Rows {
+				t.Fatalf("row index %d out of range in column %d", m.Rowidx[p], j)
+			}
+			if p > m.Colptr[j] && m.Rowidx[p-1] >= m.Rowidx[p] {
 				t.Fatalf("column %d not strictly sorted at %d", j, p)
 			}
 		}
 	}
+}
+
+func TestCSCColumnsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	checkCSC(t, randomSparse(rng, 40, 0.2))
+	checkCSC(t, randomSPD(rng, 30))
+	checkCSC(t, Identity(7))
+	// Derived matrices keep the invariants too.
+	a := randomSparse(rng, 25, 0.15)
+	b := randomSparse(rng, 25, 0.15)
+	checkCSC(t, a.Transpose())
+	checkCSC(t, Add(2, a, -3, b))
+	checkCSC(t, a.Clone().Scale(0).DropZeros(0))
 }
 
 func TestMulVecAgainstDense(t *testing.T) {

@@ -96,7 +96,7 @@ func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 		// Quantize the controller's step onto the geometric grid, then
 		// clamp to the next transition spot and the window end.
 		hStep := quantizeStep(h, hMin)
-		if next, ok := nextSpot(gts, t); ok && t+hStep > next {
+		if next, ok := waveform.NextSpot(gts, t); ok && t+hStep > next {
 			hStep = next - t
 		}
 		if t+hStep > opts.Tstop {
@@ -173,14 +173,4 @@ func gtsForMask(sys *circuit.System, opts Options) []float64 {
 		waves = sel
 	}
 	return waveform.GTS(waves, opts.Tstop)
-}
-
-// nextSpot returns the first spot strictly after t.
-func nextSpot(spots []float64, t float64) (float64, bool) {
-	for _, s := range spots {
-		if s > t+waveform.SpotEps {
-			return s, true
-		}
-	}
-	return 0, false
 }

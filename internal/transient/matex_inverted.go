@@ -66,6 +66,10 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 		res.Stats.addCounters(count)
 	}()
 
+	wsPool := opts.workspaces()
+	ws := wsPool.Get()
+	defer wsPool.Put(ws)
+
 	bu0 := make([]float64, n)
 	bu1 := make([]float64, n)
 	w0 := make([]float64, n)
@@ -77,7 +81,8 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 	vaug := make([]float64, n+2)
 	xaug := make([]float64, n+2)
 	work := make([]float64, n)
-	kopts := krylov.Options{MaxDim: opts.MaxDim, Tol: opts.Tol}
+	hChecks := make([]float64, 0, 2)
+	kopts := krylov.Options{MaxDim: opts.MaxDim, Tol: opts.Tol, Method: opts.Krylov, Workspace: ws}
 
 	if waveform.ContainsSpot(outs, 0) {
 		res.record(0, x, opts.Probes, opts.KeepFull)
@@ -88,7 +93,7 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 	for tBase < opts.Tstop-waveform.SpotEps {
 		t := tBase
 		segEnd := opts.Tstop
-		if nx, ok := nextSpot(lts, t); ok {
+		if nx, ok := waveform.NextSpot(lts, t); ok {
 			segEnd = nx
 		}
 		if opts.MaxStep > 0 && segEnd > t+opts.MaxStep {
@@ -110,7 +115,7 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 		for i := range v {
 			v[i] = x[i] - w0[i] + r2[i] // x(t) + F
 		}
-		hChecks := []float64{hSeg}
+		hChecks = append(hChecks[:0], hSeg)
 		if gi+1 < len(grid) && grid[gi+1] < segEnd-waveform.SpotEps {
 			hChecks = append(hChecks, grid[gi+1]-t)
 		}
@@ -119,7 +124,7 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 			copy(vaug[:n], v) // rational op: [v;0;0], aux chain stays inert
 			vop = vaug
 		}
-		sub, err := krylov.Arnoldi(op, vop, hChecks, kopts)
+		sub, err := krylov.Generate(op, vop, hChecks, kopts)
 		if errors.Is(err, krylov.ErrNoConvergence) {
 			res.Stats.Rejected++
 			half := t + hSeg/2
@@ -127,7 +132,8 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 				half = grid[gi+1]
 			}
 			var err2 error
-			sub, err2 = krylov.Arnoldi(op, vop, []float64{half - t}, kopts)
+			hChecks = append(hChecks[:0], half-t)
+			sub, err2 = krylov.Generate(op, vop, hChecks, kopts)
 			if err2 != nil && (!errors.Is(err2, krylov.ErrNoConvergence) || sub == nil) {
 				return nil, fmt.Errorf("transient: %v at t=%g even after split: %w", method, t, err2)
 			}
@@ -136,7 +142,7 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 			// function comment); proceed and measure.
 			segEnd = half
 		} else if err != nil {
-			return nil, fmt.Errorf("transient: %v Arnoldi at t=%g: %w", method, t, err)
+			return nil, fmt.Errorf("transient: %v subspace at t=%g: %w", method, t, err)
 		}
 
 		evalAt := func(ha float64) error {

@@ -120,6 +120,25 @@ type Options struct {
 	// does not travel over RPC (remote workers keep their own, like the
 	// paper's cluster nodes).
 	Cache *sparse.Cache `json:"-"`
+	// Krylov selects the subspace process for the MATEX methods: the zero
+	// value (auto) takes the symmetric Lanczos fast path whenever the
+	// stamped matrices are symmetric and the spot qualifies, "arnoldi"
+	// pins the full Gram-Schmidt reference, "lanczos" states the fast-path
+	// preference explicitly. See krylov.Method.
+	Krylov krylov.Method
+	// Workspaces, when non-nil, is the arena pool Krylov subspace
+	// generation draws its buffers from; the distributed scheduler and
+	// matexd workers share one pool per process the way they share the
+	// factorization cache. Nil uses the package-wide default pool.
+	Workspaces *krylov.WorkspacePool `json:"-"`
+}
+
+// workspaces resolves the arena pool.
+func (o Options) workspaces() *krylov.WorkspacePool {
+	if o.Workspaces != nil {
+		return o.Workspaces
+	}
+	return krylov.DefaultWorkspaces
 }
 
 func (o Options) withDefaults() Options {
@@ -152,8 +171,11 @@ type Stats struct {
 	// added to Options.Cache; Factorizations counts only factorizations
 	// actually computed, so the paper's cost comparison stays honest when
 	// the cache is on.
-	CacheHits     int
-	CacheMisses   int
+	CacheHits   int
+	CacheMisses int
+	// LanczosSpots counts the Krylov subspaces generated through the
+	// symmetric Lanczos fast path (the remainder used Arnoldi).
+	LanczosSpots  int
 	DCTime        time.Duration
 	FactorTime    time.Duration
 	TransientTime time.Duration
@@ -187,6 +209,7 @@ func (s *Stats) addCounters(c *krylov.Counters) {
 	s.SolvePairs += c.SolvePairs
 	s.SpMVs += c.SpMVs
 	s.ExpmEvals += c.ExpmEvals
+	s.LanczosSpots += c.Lanczos
 	s.KrylovDims = append(s.KrylovDims, c.Dims...)
 }
 

@@ -75,3 +75,17 @@ func ContainsSpot(spots []float64, t float64) bool {
 	i := sort.SearchFloat64s(spots, t-SpotEps)
 	return i < len(spots) && math.Abs(spots[i]-t) <= SpotEps
 }
+
+// NextSpot returns the first spot strictly after t (beyond SpotEps),
+// assuming spots is sorted. These lookups run once per grid point per
+// segment in the transient solvers, so they binary-search rather than scan.
+func NextSpot(spots []float64, t float64) (float64, bool) {
+	i := sort.SearchFloat64s(spots, t+SpotEps)
+	for i < len(spots) && spots[i] <= t+SpotEps {
+		i++
+	}
+	if i < len(spots) {
+		return spots[i], true
+	}
+	return 0, false
+}

@@ -140,6 +140,29 @@ func TestContainsSpot(t *testing.T) {
 	}
 }
 
+func TestNextSpot(t *testing.T) {
+	spots := []float64{0, 1e-10, 2e-10, 5e-10, 1e-9}
+	// Reference: linear scan with the same strictly-after contract.
+	ref := func(t0 float64) (float64, bool) {
+		for _, s := range spots {
+			if s > t0+SpotEps {
+				return s, true
+			}
+		}
+		return 0, false
+	}
+	for _, t0 := range []float64{-1e-9, 0, 1e-11, 1e-10, 1.5e-10, 5e-10 - SpotEps/2, 5e-10, 9.99e-10, 1e-9, 2e-9} {
+		want, wok := ref(t0)
+		got, gok := NextSpot(spots, t0)
+		if got != want || gok != wok {
+			t.Errorf("NextSpot(%g) = (%g, %v), want (%g, %v)", t0, got, gok, want, wok)
+		}
+	}
+	if _, ok := NextSpot(nil, 0); ok {
+		t.Error("NextSpot on empty list should report none")
+	}
+}
+
 func TestScaledShifted(t *testing.T) {
 	p := &Pulse{V1: 0, V2: 1, Delay: 1, Rise: 1, Width: 1, Fall: 1}
 	s := Scaled{W: p, Gain: 3}

@@ -28,6 +28,7 @@ import (
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/netlist"
 	"github.com/matex-sim/matex/internal/pdn"
 	"github.com/matex-sim/matex/internal/sparse"
@@ -126,6 +127,21 @@ type (
 	// Stats reports solver work (factorizations, substitution pairs,
 	// Krylov dimensions, phase timings).
 	Stats = transient.Stats
+	// KrylovMethod selects the subspace process for the MATEX methods
+	// (Options.Krylov / DistConfig.Krylov).
+	KrylovMethod = krylov.Method
+)
+
+// Krylov subspace processes.
+const (
+	// KrylovAuto (the default) takes the symmetric Lanczos fast path
+	// whenever the stamped matrices are symmetric and the spot qualifies,
+	// and Arnoldi otherwise.
+	KrylovAuto = krylov.MethodAuto
+	// KrylovArnoldi pins the full modified Gram-Schmidt reference process.
+	KrylovArnoldi = krylov.MethodArnoldi
+	// KrylovLanczos states the fast-path preference explicitly.
+	KrylovLanczos = krylov.MethodLanczos
 )
 
 // Integrators.

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the Krylov fast-path benchmark suite and emit a JSON
+# trajectory file (name → ns/op, B/op, allocs/op, custom metrics).
+#
+# Usage:
+#   scripts/bench.sh [out.json]          # default out: BENCH_PR3.json
+#   BENCHTIME=200x scripts/bench.sh      # longer runs for stable numbers
+#   BENCH_PATTERN='^Benchmark' scripts/bench.sh all.json   # whole suite
+#
+# CI runs this with a short BENCHTIME and uploads the JSON as an artifact;
+# the committed BENCH_PR3.json is regenerated manually with the default
+# settings when the Krylov code changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+benchtime="${BENCHTIME:-100x}"
+pattern="${BENCH_PATTERN:-^BenchmarkKrylov}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i
+        unit = $(i + 1)
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics "\"" unit "\": " val
+    }
+    line = "    {\"name\": \"" name "\", \"iters\": " iters ", " metrics "}"
+    lines[n++] = line
+    next
+}
+END {
+    print "{"
+    print "  \"benchtime\": \"" benchtime "\","
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) {
+        printf "%s%s\n", lines[i], (i + 1 < n ? "," : "")
+    }
+    print "  ]"
+    print "}"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
