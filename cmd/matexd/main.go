@@ -22,6 +22,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":9090", "TCP address to listen on")
 	cacheMB := flag.Int("cache-mb", 0, "factorization cache budget in MiB; <=0 selects the 512 MiB default (the worker cache is always on — it replaces per-subtask refactorization)")
+	solvePar := flag.Int("solve-par", 0, "default goroutines for level-scheduled parallel triangular solves when a request does not set its own (0/1 = sequential)")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *listen)
@@ -30,6 +31,7 @@ func main() {
 	}
 	fmt.Printf("matexd: listening on %s\n", l.Addr())
 	ws := dist.NewWorkerServerWithCache(sparse.NewCache(int64(*cacheMB) << 20))
+	ws.SetSolveWorkers(*solvePar)
 	if err := dist.Serve(l, ws); err != nil {
 		log.Fatalf("matexd: %v", err)
 	}

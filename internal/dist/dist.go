@@ -109,6 +109,14 @@ type Config struct {
 	// travels with the subtask request, so matexd workers follow the
 	// scheduler's choice.
 	Krylov krylov.Method
+	// SolveWorkers > 1 runs every node's triangular solves through the
+	// factorization's level-scheduled parallel path with that many
+	// goroutines (it travels with the subtask request; matexd workers may
+	// substitute their own -solve-par default when it is 0). Note the
+	// in-process pool already parallelizes across subtasks — per-solve
+	// parallelism mainly pays on remote workers with idle cores or when
+	// Groups < cores.
+	SolveWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -156,17 +164,18 @@ type Report struct {
 // zero state, the group's inputs only, outputs on the shared GTS grid.
 func subtaskRequest(cfg Config, gts []float64) Request {
 	return Request{
-		Method:     cfg.Method,
-		Tstop:      cfg.Tstop,
-		Step:       cfg.Step,
-		Tol:        cfg.Tol,
-		Gamma:      cfg.Gamma,
-		MaxDim:     cfg.MaxDim,
-		Probes:     append([]int(nil), cfg.Probes...),
-		EvalTimes:  gts,
-		FactorKind: cfg.FactorKind,
-		Ordering:   cfg.Ordering,
-		Krylov:     cfg.Krylov,
+		Method:       cfg.Method,
+		Tstop:        cfg.Tstop,
+		Step:         cfg.Step,
+		Tol:          cfg.Tol,
+		Gamma:        cfg.Gamma,
+		MaxDim:       cfg.MaxDim,
+		Probes:       append([]int(nil), cfg.Probes...),
+		EvalTimes:    gts,
+		FactorKind:   cfg.FactorKind,
+		Ordering:     cfg.Ordering,
+		Krylov:       cfg.Krylov,
+		SolveWorkers: cfg.SolveWorkers,
 	}
 }
 
@@ -217,5 +226,6 @@ func subtaskOptions(sub *circuit.System, task Task, req Request, cache *sparse.C
 		Cache:        cache,
 		Krylov:       req.Krylov,
 		Workspaces:   workspaces,
+		SolveWorkers: req.SolveWorkers,
 	}
 }

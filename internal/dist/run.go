@@ -46,16 +46,11 @@ func Run(sys *circuit.System, cfg Config) (*transient.Result, *Report, error) {
 	// factorization of G is reused by the in-process subtasks (I-MATEX as
 	// its Krylov operator; every method for the zero-state setup).
 	tDC := time.Now()
-	fg, hit, err := cache.Factor(sys.G, cfg.FactorKind, cfg.Ordering)
+	fg, info, err := cache.FactorEx(sys.G, cfg.FactorKind, cfg.Ordering)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dist: DC factorization failed: %w", err)
 	}
-	if hit {
-		res.Stats.CacheHits++
-	} else {
-		res.Stats.CacheMisses++
-		res.Stats.Factorizations++
-	}
+	res.Stats.AddFactorInfo(info)
 	b := make([]float64, sys.N)
 	sys.EvalB(0, b, nil)
 	xdc := make([]float64, sys.N)
@@ -187,6 +182,8 @@ func aggregate(dst, src *transient.Stats) {
 	dst.CacheHits += src.CacheHits
 	dst.CacheMisses += src.CacheMisses
 	dst.LanczosSpots += src.LanczosSpots
+	dst.SymbolicHits += src.SymbolicHits
+	dst.Refactors += src.Refactors
 	dst.FactorTime += src.FactorTime
 }
 

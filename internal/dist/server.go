@@ -113,7 +113,14 @@ type WorkerServer struct {
 	// subtask and every scheduler run against this process — the
 	// subspace-generation analogue of the factorization cache above.
 	workspaces *krylov.WorkspacePool
+	// solveWorkers is the worker-local per-solve goroutine default applied
+	// when a request leaves SolveWorkers unset (matexd -solve-par).
+	solveWorkers int
 }
+
+// SetSolveWorkers sets the worker-local default per-solve goroutine budget
+// for requests that do not specify one. Call before Serve.
+func (w *WorkerServer) SetSolveWorkers(n int) { w.solveWorkers = n }
 
 // NewWorkerServer returns an empty worker service for use with Serve, with
 // a default-budget factorization cache.
@@ -176,8 +183,12 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	if !ok {
 		return fmt.Errorf("dist: unknown system %x (register it first)", args.SystemID)
 	}
-	opts := subtaskOptions(ws.sys, args.Task, args.Req, w.cache, w.workspaces)
-	res, err := transient.Simulate(ws.sys, args.Req.Method, opts)
+	req := args.Req
+	if req.SolveWorkers == 0 {
+		req.SolveWorkers = w.solveWorkers
+	}
+	opts := subtaskOptions(ws.sys, args.Task, req, w.cache, w.workspaces)
+	res, err := transient.Simulate(ws.sys, req.Method, opts)
 	if err != nil {
 		return fmt.Errorf("dist: group %d: %w", args.Task.GroupID, err)
 	}

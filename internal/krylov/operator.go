@@ -134,6 +134,28 @@ type Op struct {
 	sym     bool
 	symOff  bool
 	segZero bool // both input columns are identically zero
+	// solveWorkers > 1 routes every substitution pair through the
+	// factorization's level-scheduled parallel solve when it offers one
+	// (sparse.ParSolver); the factorization itself falls back to the
+	// sequential path below its profitability crossover.
+	solveWorkers int
+	mdst, msrc   [2][]float64 // scratch headers for 2-RHS panel solves
+}
+
+// SetSolveWorkers sets the goroutine budget for the operator's triangular
+// solves. w <= 1 keeps every solve sequential.
+func (op *Op) SetSolveWorkers(w int) { op.solveWorkers = w }
+
+// solve runs one substitution pair dst = fact⁻¹·b through the parallel
+// solver when enabled and available.
+func (op *Op) solve(dst, b []float64) {
+	if op.solveWorkers > 1 {
+		if ps, ok := op.fact.(sparse.ParSolver); ok {
+			ps.ParSolveWith(dst, b, op.work, op.solveWorkers)
+			return
+		}
+	}
+	op.fact.SolveWith(dst, b, op.work)
 }
 
 // symTol returns the absolute tolerance for symmetry detection on m.
@@ -189,8 +211,18 @@ func (op *Op) SetSegment(bu, s []float64) {
 	op.segZero = allZero(bu) && allZero(s)
 	switch op.Mode {
 	case Standard:
-		op.fact.SolveWith(op.bcol0, bu, op.work)
-		op.fact.SolveWith(op.bcol1, s, op.work)
+		// One blocked panel solve for both input columns when the
+		// factorization supports it: same substitution work, the factor is
+		// traversed once instead of twice.
+		if ms, ok := op.fact.(sparse.MultiSolver); ok {
+			op.mdst[0], op.mdst[1] = op.bcol0, op.bcol1
+			op.msrc[0], op.msrc[1] = bu, s
+			ms.SolveMulti(op.mdst[:], op.msrc[:])
+			op.msrc[0], op.msrc[1] = nil, nil
+		} else {
+			op.fact.SolveWith(op.bcol0, bu, op.work)
+			op.fact.SolveWith(op.bcol1, s, op.work)
+		}
 		if op.Count != nil {
 			op.Count.SolvePairs += 2
 		}
@@ -284,7 +316,7 @@ func (op *Op) ApplySym(w, bw, v []float64) {
 	switch op.Mode {
 	case Standard:
 		op.g.MulVec(bw[:n], v[:n])
-		op.fact.SolveWith(w[:n], bw[:n], op.work)
+		op.solve(w[:n], bw[:n])
 		for i := 0; i < n; i++ {
 			w[i] = -w[i]
 			bw[i] = -bw[i]
@@ -293,14 +325,14 @@ func (op *Op) ApplySym(w, bw, v []float64) {
 		bw[n], bw[n+1] = 0, 0
 	case Inverted:
 		op.c.MulVec(bw, v)
-		op.fact.SolveWith(w, bw, op.work)
+		op.solve(w, bw)
 		for i := range w {
 			w[i] = -w[i]
 			bw[i] = -bw[i]
 		}
 	case Rational:
 		op.c.MulVec(bw[:n], v[:n])
-		op.fact.SolveWith(w[:n], bw[:n], op.work)
+		op.solve(w[:n], bw[:n])
 		w[n], w[n+1] = 0, 0
 		bw[n], bw[n+1] = 0, 0
 	}
@@ -367,7 +399,7 @@ func (op *Op) Apply(dst, v []float64) {
 		z1, z2 := v[n], v[n+1]
 		// dst_x = A·z_x + b₁·z₁ + b₀·z₂ with A = -C⁻¹G.
 		op.g.MulVec(dst[:n], zx)
-		op.fact.SolveWith(dst[:n], dst[:n], op.work)
+		op.solve(dst[:n], dst[:n])
 		for i := 0; i < n; i++ {
 			dst[i] = -dst[i] + op.bcol1[i]*z1 + op.bcol0[i]*z2
 		}
@@ -376,7 +408,7 @@ func (op *Op) Apply(dst, v []float64) {
 	case Inverted:
 		// dst = A⁻¹·v = -G⁻¹(C·v).
 		op.c.MulVec(dst, v)
-		op.fact.SolveWith(dst, dst, op.work)
+		op.solve(dst, dst)
 		for i := range dst {
 			dst[i] = -dst[i]
 		}
@@ -392,7 +424,7 @@ func (op *Op) Apply(dst, v []float64) {
 		for i := 0; i < n; i++ {
 			dst[i] += op.Gamma * (op.bcol1[i]*w1 + op.bcol0[i]*w2)
 		}
-		op.fact.SolveWith(dst[:n], dst[:n], op.work)
+		op.solve(dst[:n], dst[:n])
 		dst[n] = w1
 		dst[n+1] = w2
 	}

@@ -71,7 +71,50 @@ type CacheStats struct {
 	Hits, Misses, Evictions uint64
 	Entries                 int
 	Bytes                   int64
+	// SymbolicHits/SymbolicMisses count symbolic-tier lookups: a hit means a
+	// numeric factorization had to run but reused a cached pattern analysis
+	// (Refactor) instead of recomputing ordering + elimination structure.
+	SymbolicHits, SymbolicMisses uint64
+	SymbolicEntries              int
+	SymbolicBytes                int64
 }
+
+// FactorInfo describes how one cache acquisition was served.
+type FactorInfo struct {
+	// Hit reports the factorization came from the cache (including joining a
+	// computation already in flight).
+	Hit bool
+	// SymbolicHit reports a numeric factorization was computed against a
+	// cached symbolic analysis (pattern-fingerprint tier).
+	SymbolicHit bool
+	// Refactored reports the factorization went through Symbolic.Refactor
+	// (LDLT numeric phase only) rather than a from-scratch factorization.
+	Refactored bool
+}
+
+// symKey identifies one symbolic analysis: a sparsity pattern under an
+// ordering. FactorKind is not part of the key — only LDLT has a symbolic
+// phase.
+type symKey struct {
+	patFP uint64
+	order Ordering
+}
+
+// symEntry is one cached (or in-flight) symbolic analysis.
+type symEntry struct {
+	key   symKey
+	ready chan struct{}
+	sym   *Symbolic
+	err   error
+	bytes int64
+	done  bool
+}
+
+// symCap bounds the symbolic tier's entry count; its bytes are further
+// charged against the cache's shared byte budget. A run touches a handful
+// of distinct patterns (C, G, C+γG, C/h+G/2 families), so the depth bound
+// rarely binds.
+const symCap = 64
 
 // Cache is a concurrency-safe, content-addressed factorization cache with an
 // LRU byte budget. It is shared across solvers, the adaptive stepper and
@@ -90,6 +133,15 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// Symbolic tier: pattern-fingerprint-keyed analyses shared by every
+	// numeric factorization of the same sparsity pattern — all scalar shifts
+	// C + γG on the adaptive grid resolve to one analysis here.
+	symLL      *list.List // front = most recently used
+	symEntries map[symKey]*list.Element
+	symBytes   int64
+	symHits    uint64
+	symMisses  uint64
 }
 
 // DefaultCacheBytes is the byte budget used when NewCache is given a
@@ -104,9 +156,11 @@ func NewCache(maxBytes int64) *Cache {
 		maxBytes = DefaultCacheBytes
 	}
 	return &Cache{
-		capacity: maxBytes,
-		ll:       list.New(),
-		entries:  make(map[cacheKey]*list.Element),
+		capacity:   maxBytes,
+		ll:         list.New(),
+		entries:    make(map[cacheKey]*list.Element),
+		symLL:      list.New(),
+		symEntries: make(map[symKey]*list.Element),
 	}
 }
 
@@ -114,10 +168,17 @@ func NewCache(maxBytes int64) *Cache {
 // use. hit reports whether the result came from the cache (including joining
 // a computation already in flight). Failed factorizations are not cached.
 func (c *Cache) Factor(a *CSC, kind FactorKind, order Ordering) (f Factorization, hit bool, err error) {
+	f, info, err := c.FactorEx(a, kind, order)
+	return f, info.Hit, err
+}
+
+// FactorEx is Factor with the full acquisition breakdown: how the result was
+// served (cache hit, symbolic-tier hit, refactorization).
+func (c *Cache) FactorEx(a *CSC, kind FactorKind, order Ordering) (Factorization, FactorInfo, error) {
 	order = order.Resolve()
 	key := cacheKey{fpA: Fingerprint(a), alpha: 1, kind: kind, order: order}
-	return c.getOrCompute(key, func() (Factorization, error) {
-		return Factor(a, kind, order)
+	return c.getOrCompute(key, func() (Factorization, FactorInfo, error) {
+		return c.factorSymbolic(a, kind, order)
 	})
 }
 
@@ -126,19 +187,110 @@ func (c *Cache) Factor(a *CSC, kind FactorKind, order Ordering) (f Factorization
 // fingerprints and the scalars, so a cache hit never materializes the sum —
 // this is what makes repeated (C/h + G/2) and (C + γG) acquisitions cheap.
 func (c *Cache) FactorSum(alpha float64, a *CSC, beta float64, b *CSC, kind FactorKind, order Ordering) (f Factorization, hit bool, err error) {
+	f, info, err := c.FactorSumEx(alpha, a, beta, b, kind, order)
+	return f, info.Hit, err
+}
+
+// FactorSumEx is FactorSum with the full acquisition breakdown. On a cache
+// miss the sum matrix is materialized once for the numeric phase, but every
+// scalar shift of one base-pattern pair shares a single symbolic analysis:
+// the sum's sparsity pattern is scalar-independent, so the shift grid costs
+// one ordering + elimination analysis total, then one cheap Refactor per
+// distinct shift.
+func (c *Cache) FactorSumEx(alpha float64, a *CSC, beta float64, b *CSC, kind FactorKind, order Ordering) (Factorization, FactorInfo, error) {
 	order = order.Resolve()
 	key := cacheKey{
 		fpA: Fingerprint(a), fpB: Fingerprint(b),
 		alpha: alpha, beta: beta, kind: kind, order: order,
 	}
-	return c.getOrCompute(key, func() (Factorization, error) {
-		return Factor(Add(alpha, a, beta, b), kind, order)
+	return c.getOrCompute(key, func() (Factorization, FactorInfo, error) {
+		return c.factorSymbolic(Add(alpha, a, beta, b), kind, order)
 	})
+}
+
+// factorSymbolic computes a factorization of the materialized matrix,
+// routing the symmetric LDLT path through the pattern-keyed symbolic tier.
+// FactorAuto falls back to LU exactly like sparse.Factor when the matrix is
+// unsymmetric or the LDLT pivots break down.
+func (c *Cache) factorSymbolic(m *CSC, kind FactorKind, order Ordering) (Factorization, FactorInfo, error) {
+	tryLDLT := kind == FactorLDLt || (kind == FactorAuto && m.Rows == m.Cols && m.IsSymmetric(0))
+	if tryLDLT {
+		sym, symHit, err := c.symbolic(m, order)
+		if err == nil {
+			f, ferr := sym.Refactor(m)
+			if ferr == nil {
+				return f, FactorInfo{SymbolicHit: symHit, Refactored: true}, nil
+			}
+			if kind == FactorLDLt {
+				return nil, FactorInfo{SymbolicHit: symHit}, ferr
+			}
+		} else if kind == FactorLDLt {
+			return nil, FactorInfo{}, err
+		}
+	}
+	f, err := FactorLU(m, order, 1.0)
+	return f, FactorInfo{}, err
+}
+
+// symbolic returns the cached pattern analysis for m under order, computing
+// it on first use with the same singleflight discipline as factorizations.
+func (c *Cache) symbolic(m *CSC, order Ordering) (*Symbolic, bool, error) {
+	key := symKey{patFP: PatternFingerprint(m), order: order}
+	c.mu.Lock()
+	if el, ok := c.symEntries[key]; ok {
+		e := el.Value.(*symEntry)
+		c.symLL.MoveToFront(el)
+		c.symHits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.sym, true, e.err
+	}
+	e := &symEntry{key: key, ready: make(chan struct{})}
+	el := c.symLL.PushFront(e)
+	c.symEntries[key] = el
+	c.symMisses++
+	c.mu.Unlock()
+
+	sym, err := AnalyzeLDLT(m, order)
+	c.mu.Lock()
+	if err != nil {
+		e.err = err
+		if cur, ok := c.symEntries[key]; ok && cur == el {
+			delete(c.symEntries, key)
+			c.symLL.Remove(el)
+		}
+	} else {
+		e.sym = sym
+		e.bytes = sym.Bytes()
+		e.done = true
+		if cur, ok := c.symEntries[key]; ok && cur == el {
+			c.symBytes += e.bytes
+			// LRU bounded by depth and by the shared byte budget (analyses
+			// count against the same capacity as factors): completed
+			// entries fall off the back, keeping at least one. Factors
+			// holding a dropped analysis keep their own reference; only
+			// future pattern reuse re-analyzes.
+			for c.symLL.Len() > 1 &&
+				(c.symLL.Len() > symCap || c.bytes+c.symBytes > c.capacity) {
+				back := c.symLL.Back()
+				be := back.Value.(*symEntry)
+				if !be.done {
+					break
+				}
+				c.symLL.Remove(back)
+				delete(c.symEntries, be.key)
+				c.symBytes -= be.bytes
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return sym, false, err
 }
 
 // getOrCompute implements the singleflight lookup: the first request for a
 // key computes outside the lock while later requests block on ready.
-func (c *Cache) getOrCompute(key cacheKey, build func() (Factorization, error)) (Factorization, bool, error) {
+func (c *Cache) getOrCompute(key cacheKey, build func() (Factorization, FactorInfo, error)) (Factorization, FactorInfo, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
@@ -146,7 +298,7 @@ func (c *Cache) getOrCompute(key cacheKey, build func() (Factorization, error)) 
 		c.hits++
 		c.mu.Unlock()
 		<-e.ready
-		return e.f, true, e.err
+		return e.f, FactorInfo{Hit: true}, e.err
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	el := c.ll.PushFront(e)
@@ -154,7 +306,7 @@ func (c *Cache) getOrCompute(key cacheKey, build func() (Factorization, error)) 
 	c.misses++
 	c.mu.Unlock()
 
-	f, err := build()
+	f, info, err := build()
 	c.mu.Lock()
 	if err != nil {
 		// Do not cache failures: a singular matrix error must stay
@@ -177,16 +329,17 @@ func (c *Cache) getOrCompute(key cacheKey, build func() (Factorization, error)) 
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return f, false, err
+	return f, info, err
 }
 
 // evictLocked drops least-recently-used completed entries until the byte
-// budget holds. In-flight entries and the sole remaining entry are never
-// evicted (a single factorization above budget is kept — evicting it would
-// just thrash).
+// budget holds — the symbolic tier's bytes count against the same budget.
+// In-flight entries and the sole remaining entry are never evicted (a
+// single factorization above budget is kept — evicting it would just
+// thrash).
 func (c *Cache) evictLocked() {
 	el := c.ll.Back()
-	for el != nil && c.bytes > c.capacity && c.ll.Len() > 1 {
+	for el != nil && c.bytes+c.symBytes > c.capacity && c.ll.Len() > 1 {
 		prev := el.Prev()
 		e := el.Value.(*cacheEntry)
 		if e.done {
@@ -213,6 +366,8 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		Entries: c.ll.Len(), Bytes: c.bytes,
+		SymbolicHits: c.symHits, SymbolicMisses: c.symMisses,
+		SymbolicEntries: c.symLL.Len(), SymbolicBytes: c.symBytes,
 	}
 }
 
@@ -225,4 +380,8 @@ func (c *Cache) Reset() {
 	c.entries = make(map[cacheKey]*list.Element)
 	c.bytes = 0
 	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.symLL.Init()
+	c.symEntries = make(map[symKey]*list.Element)
+	c.symBytes = 0
+	c.symHits, c.symMisses = 0, 0
 }

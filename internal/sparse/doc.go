@@ -1,12 +1,16 @@
 // Package sparse implements the sparse linear algebra substrate used by the
 // MATEX transient simulator: compressed sparse column (CSC) matrices, a
 // triplet builder, fill-reducing orderings (reverse Cuthill-McKee and
-// minimum degree), a left-looking sparse LU factorization with partial
-// pivoting (Gilbert-Peierls), and an LDL^T factorization for symmetric
-// systems.
+// bucketed minimum degree), a left-looking sparse LU factorization with
+// partial pivoting (Gilbert-Peierls), and an LDL^T factorization for
+// symmetric systems split into a once-per-pattern symbolic analysis
+// (Symbolic) and an allocation-free numeric refactorization.
 //
 // The package is self-contained (standard library only) and plays the role
-// UMFPACK plays in the original MATEX implementation: one factorization at
-// the beginning of a transient run, then pairs of forward and backward
-// substitutions for every Krylov vector or trapezoidal step.
+// UMFPACK plays in the original MATEX implementation: one symbolic analysis
+// per sparsity pattern, one cheap numeric refactorization per matrix (all
+// scalar shifts C + γG of a pattern share the analysis through the Cache's
+// symbolic tier), then pairs of forward and backward substitutions for
+// every Krylov vector or trapezoidal step — sequential, level-scheduled
+// parallel (ParSolveWith), or blocked multi-RHS (SolveMulti).
 package sparse

@@ -1,36 +1,63 @@
 package sparse
 
 import (
-	"fmt"
-	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // LDLT holds a sparse LDLᵀ factorization P·A·Pᵀ = L·D·Lᵀ of a symmetric
 // matrix, computed without pivoting (suitable for symmetric positive or
 // negative definite systems such as the conductance matrices of RC power
 // grids with collapsed supplies).
+//
+// The factorization is split into a once-per-pattern symbolic analysis
+// (Symbolic, shared by every factor of the same sparsity pattern) and the
+// numeric values held here. A factor is immutable through the solve API and
+// safe for concurrent solves; RefactorInto mutates it and must not race
+// with solves.
 type LDLT struct {
-	n int
-	l *CSC      // unit lower triangular, diagonal not stored
-	d []float64 // diagonal of D
-	p []int     // column k of the factorization is column p[k] of A
+	sym    *Symbolic
+	values []float64 // L values, aligned with sym.rowidx (column-major)
+	// valuesR mirrors values in row-major order (aligned with sym.rowind),
+	// maintained for free by the refactorization: the level-scheduled
+	// forward solve gathers rows contiguously from it instead of chasing
+	// the rowpos indirection through the column-major array.
+	valuesR []float64
+	d       []float64 // diagonal of D
+	y       []float64 // refactorization scratch, length n, kept all-zero
 }
 
 // N returns the dimension of the factored matrix.
-func (f *LDLT) N() int { return f.n }
+func (f *LDLT) N() int { return f.sym.n }
 
-// L returns the unit lower triangular factor (unit diagonal not stored).
-func (f *LDLT) L() *CSC { return f.l }
+// Symbolic returns the shared pattern analysis behind this factor.
+func (f *LDLT) Symbolic() *Symbolic { return f.sym }
+
+// L materializes the unit lower triangular factor (unit diagonal not
+// stored) as a CSC matrix. The pattern arrays are copied out of the compact
+// symbolic form, so this allocates; it exists for inspection and tests, not
+// for the solve path.
+func (f *LDLT) L() *CSC {
+	n := f.sym.n
+	colptr := append([]int(nil), f.sym.colptr...)
+	rowidx := make([]int, f.sym.lnz)
+	for i, r := range f.sym.rowidx {
+		rowidx[i] = int(r)
+	}
+	values := append([]float64(nil), f.values...)
+	return &CSC{Rows: n, Cols: n, Colptr: colptr, Rowidx: rowidx, Values: values}
+}
 
 // D returns the diagonal of D.
 func (f *LDLT) D() []float64 { return f.d }
 
 // Perm returns the symmetric permutation: column k of the factorization is
 // column p[k] of A.
-func (f *LDLT) Perm() []int { return f.p }
+func (f *LDLT) Perm() []int { return f.sym.perm }
 
 // NNZ returns the number of stored entries in L plus D.
-func (f *LDLT) NNZ() int { return f.l.NNZ() + f.n }
+func (f *LDLT) NNZ() int { return f.sym.lnz + f.sym.n }
 
 // EliminationTree computes the elimination tree of a symmetric matrix from
 // its upper triangle. parent[k] == -1 marks a root.
@@ -56,162 +83,355 @@ func EliminationTree(a *CSC) []int {
 	return parent
 }
 
-// etreeReach computes the nonzero pattern of row k of L: the nodes reachable
-// from the entries of A(0:k, k) by walking up the elimination tree. It fills
-// xi[top:n] in topological order (descendants before ancestors) and returns
-// top. mark must be a k-stamped workspace: mark[i] == k means visited.
-func etreeReach(a *CSC, k int, parent []int, xi []int, mark []int) int {
-	n := a.Cols
-	top := n
-	mark[k] = k
-	var stack [64]int
-	for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
-		i := a.Rowidx[p]
-		if i >= k {
-			continue
-		}
-		// Walk up the tree collecting the unvisited path.
-		path := stack[:0]
-		for i != -1 && mark[i] != k {
-			path = append(path, i)
-			mark[i] = k
-			i = parent[i]
-		}
-		// Push the path in reverse so xi[top:] stays topologically ordered.
-		for len(path) > 0 {
-			top--
-			xi[top] = path[len(path)-1]
-			path = path[:len(path)-1]
-		}
-	}
-	return top
-}
-
 // FactorLDLT computes the LDLᵀ factorization of the symmetric matrix a with
-// the given fill-reducing ordering. Only the structure and values of the
-// stored upper triangle of the permuted matrix are used, so a must be
+// the given fill-reducing ordering: a symbolic analysis of the pattern
+// followed by a numeric refactorization. Only the structure and values of
+// the stored upper triangle of the permuted matrix are used, so a must be
 // symmetric. It returns ErrSingular when a zero pivot appears (the matrix is
-// not definite).
+// not definite). Callers factorizing many matrices of one pattern should
+// AnalyzeLDLT once and Refactor per matrix instead (the Cache does this
+// automatically).
 func FactorLDLT(a *CSC, order Ordering) (*LDLT, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("sparse: FactorLDLT needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	sym, err := AnalyzeLDLT(a, order)
+	if err != nil {
+		return nil, err
 	}
-	n := a.Cols
-	perm := Order(a, order)
-	ap := PermuteSym(a, perm)
-
-	parent := EliminationTree(ap)
-	// Dynamic per-column storage for L (rows > column index).
-	colRows := make([][]int32, n)
-	colVals := make([][]float64, n)
-	d := make([]float64, n)
-
-	y := make([]float64, n)
-	xi := make([]int, n)
-	mark := make([]int, n)
-	for i := range mark {
-		mark[i] = -1
-	}
-
-	for k := 0; k < n; k++ {
-		top := etreeReach(ap, k, parent, xi, mark)
-		// Scatter the upper part of column k and grab the diagonal.
-		dk := 0.0
-		for p := ap.Colptr[k]; p < ap.Colptr[k+1]; p++ {
-			i := ap.Rowidx[p]
-			switch {
-			case i < k:
-				y[i] = ap.Values[p]
-			case i == k:
-				dk = ap.Values[p]
-			}
-		}
-		// Up-looking elimination along the pattern (topological order).
-		for px := top; px < n; px++ {
-			i := xi[px]
-			yi := y[i]
-			y[i] = 0
-			lki := yi / d[i]
-			rows := colRows[i]
-			vals := colVals[i]
-			for t := range rows {
-				y[rows[t]] -= vals[t] * yi
-			}
-			dk -= lki * yi
-			colRows[i] = append(rows, int32(k))
-			colVals[i] = append(vals, lki)
-		}
-		if dk == 0 || math.IsNaN(dk) {
-			return nil, fmt.Errorf("%w: zero pivot at column %d in LDLT", ErrSingular, k)
-		}
-		d[k] = dk
-	}
-
-	// Compress L into CSC (diagonal implied).
-	nnz := 0
-	for _, r := range colRows {
-		nnz += len(r)
-	}
-	colptr := make([]int, n+1)
-	rowidx := make([]int, nnz)
-	values := make([]float64, nnz)
-	pos := 0
-	for j := 0; j < n; j++ {
-		colptr[j] = pos
-		for t := range colRows[j] {
-			rowidx[pos] = int(colRows[j][t])
-			values[pos] = colVals[j][t]
-			pos++
-		}
-	}
-	colptr[n] = pos
-	l := &CSC{Rows: n, Cols: n, Colptr: colptr, Rowidx: rowidx, Values: values}
-	return &LDLT{n: n, l: l, d: d, p: perm}, nil
+	return sym.Refactor(a)
 }
 
-// Solve computes x = A⁻¹ b, overwriting dst. dst and b may alias.
+// solveWork is the package-wide pool behind the workspace-less Solve entry
+// points: one []float64 per concurrent solve, reused across factors (the
+// slices are sized to the largest system seen and resliced per use).
+var solveWork = sync.Pool{New: func() any { s := make([]float64, 0); return &s }}
+
+func getWork(n int) *[]float64 {
+	w := solveWork.Get().(*[]float64)
+	if cap(*w) < n {
+		*w = make([]float64, n)
+	}
+	return w
+}
+
+// Solve computes x = A⁻¹ b, overwriting dst. dst and b may alias. The
+// workspace comes from a shared pool; repeated solves allocate nothing.
 func (f *LDLT) Solve(dst, b []float64) {
-	if len(dst) != f.n || len(b) != f.n {
+	if len(dst) != f.sym.n || len(b) != f.sym.n {
 		panic("sparse: LDLT.Solve dimension mismatch")
 	}
-	work := make([]float64, f.n)
-	f.SolveWith(dst, b, work)
+	w := getWork(f.sym.n)
+	f.SolveWith(dst, b, (*w)[:f.sym.n])
+	solveWork.Put(w)
 }
 
 // SolveWith is Solve with a caller-provided workspace of length n.
 func (f *LDLT) SolveWith(dst, b, work []float64) {
-	if len(work) != f.n {
+	n := f.sym.n
+	if len(work) != n {
 		panic("sparse: LDLT.SolveWith workspace length mismatch")
 	}
+	perm := f.sym.perm
 	// work = Pᵀ·b (entry k of the permuted system is entry p[k] of the original).
-	for k := 0; k < f.n; k++ {
-		work[k] = b[f.p[k]]
+	for k := 0; k < n; k++ {
+		work[k] = b[perm[k]]
 	}
-	l := f.l
-	// Forward solve L·z = work (unit diagonal implied).
-	for j := 0; j < f.n; j++ {
+	colptr, rowidx, values, d := f.sym.colptr, f.sym.rowidx, f.values, f.d
+	// Forward solve L·z = work (unit diagonal implied), column scatter form.
+	for j := 0; j < n; j++ {
 		xj := work[j]
 		if xj == 0 {
 			continue
 		}
-		for p := l.Colptr[j]; p < l.Colptr[j+1]; p++ {
-			work[l.Rowidx[p]] -= l.Values[p] * xj
+		for q := colptr[j]; q < colptr[j+1]; q++ {
+			work[rowidx[q]] -= values[q] * xj
 		}
 	}
 	// Diagonal solve.
-	for j := 0; j < f.n; j++ {
-		work[j] /= f.d[j]
+	for j := 0; j < n; j++ {
+		work[j] /= d[j]
 	}
 	// Backward solve Lᵀ·x = work.
-	for j := f.n - 1; j >= 0; j-- {
+	for j := n - 1; j >= 0; j-- {
 		s := work[j]
-		for p := l.Colptr[j]; p < l.Colptr[j+1]; p++ {
-			s -= l.Values[p] * work[l.Rowidx[p]]
+		for q := colptr[j]; q < colptr[j+1]; q++ {
+			s -= values[q] * work[rowidx[q]]
 		}
 		work[j] = s
 	}
 	// dst = P·work.
-	for k := 0; k < f.n; k++ {
-		dst[f.p[k]] = work[k]
+	for k := 0; k < n; k++ {
+		dst[perm[k]] = work[k]
+	}
+}
+
+// parMinLNZ is the factor-fill crossover below which the goroutine fan-out
+// costs more than the arithmetic it parallelizes, so ParSolveWith degrades
+// to the sequential path.
+const parMinLNZ = 32768
+
+// ParallelizableSolve reports whether the etree task schedule makes a
+// parallel solve worth attempting for this factor: enough fill to amortize
+// the fan-out and a usable task partition (≥ 2 independent subtrees with
+// the separator tail below a quarter of the work — buildTasks escalates its
+// chunk bound to reach that, and leaves the schedule empty when the
+// pattern's root separators make it unreachable).
+func (f *LDLT) ParallelizableSolve() bool {
+	sym := f.sym
+	return sym.lnz >= parMinLNZ && len(sym.taskPtr) > 2
+}
+
+// ParSolveWith is SolveWith with the triangular solves scheduled over the
+// elimination-tree task partition on up to workers goroutines: independent
+// subtrees run concurrently in gather (dot-product) form — each row is
+// finalized by reading only its descendants, so a task never touches
+// another task's rows — and the separator tail of common ancestors runs
+// sequentially after (forward) or before (backward) the fan-out. workers <=
+// 1 and factors below the profitability crossover fall back to the
+// sequential path entirely. Safe for concurrent use.
+func (f *LDLT) ParSolveWith(dst, b, work []float64, workers int) {
+	n := f.sym.n
+	if workers > 1 && workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || !f.ParallelizableSolve() {
+		f.SolveWith(dst, b, work)
+		return
+	}
+	if len(work) != n {
+		panic("sparse: LDLT.ParSolveWith workspace length mismatch")
+	}
+	sym := f.sym
+	perm := sym.perm
+	for k := 0; k < n; k++ {
+		work[k] = b[perm[k]]
+	}
+	values, valuesR, d := f.values, f.valuesR, f.d
+	rowptr, rowind := sym.rowptr, sym.rowind
+	colptr, rowidx := sym.colptr, sym.rowidx
+
+	// Forward gather for one row range (ascending order within the range).
+	fwdRows := func(rows []int32) {
+		for _, k32 := range rows {
+			k := int(k32)
+			s := work[k]
+			for p := rowptr[k]; p < rowptr[k+1]; p++ {
+				s -= valuesR[p] * work[rowind[p]]
+			}
+			work[k] = s
+		}
+	}
+	// Backward gather for one row range, descending order: row i of Lᵀ is
+	// column i of L.
+	bwdRows := func(rows []int32) {
+		for t := len(rows) - 1; t >= 0; t-- {
+			i := int(rows[t])
+			s := work[i]
+			for q := colptr[i]; q < colptr[i+1]; q++ {
+				s -= values[q] * work[rowidx[q]]
+			}
+			work[i] = s
+		}
+	}
+
+	// L·z = b: tasks fan out, barrier, separator tail.
+	runTasks(sym, workers, fwdRows)
+	fwdRows(sym.tailRows)
+	for j := 0; j < n; j++ {
+		work[j] /= d[j]
+	}
+	// Lᵀ·x = z: separator tail first, then the task fan-out.
+	bwdRows(sym.tailRows)
+	runTasks(sym, workers, bwdRows)
+
+	for k := 0; k < n; k++ {
+		dst[perm[k]] = work[k]
+	}
+}
+
+// runTasks fans the subtree tasks out over workers goroutines pulling from
+// an atomic cursor, and waits for all of them.
+func runTasks(sym *Symbolic, workers int, body func(rows []int32)) {
+	ntasks := len(sym.taskPtr) - 1
+	if workers > ntasks {
+		workers = ntasks
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(cursor.Add(1)) - 1
+				if t >= ntasks {
+					return
+				}
+				body(sym.taskRows[sym.taskPtr[t]:sym.taskPtr[t+1]])
+			}
+		}()
+	}
+	for {
+		t := int(cursor.Add(1)) - 1
+		if t >= ntasks {
+			break
+		}
+		body(sym.taskRows[sym.taskPtr[t]:sym.taskPtr[t+1]])
+	}
+	wg.Wait()
+}
+
+// SolveMulti solves A·X = B for k right-hand sides in one traversal of the
+// factor: the k solutions advance together through an interleaved panel, so
+// every factor entry is loaded once per panel instead of once per
+// right-hand side. dst and b must each hold k vectors of length n (dst[r]
+// and b[r] may alias). The workspace comes from a shared pool.
+func (f *LDLT) SolveMulti(dst, b [][]float64) {
+	n, k := f.sym.n, len(dst)
+	if k == 0 {
+		return
+	}
+	w := getWork(n * k)
+	f.SolveMultiWith(dst, b, (*w)[:n*k])
+	solveWork.Put(w)
+}
+
+// SolveMultiWith is SolveMulti with a caller-provided workspace of length
+// n·k, allowing allocation-free repeated panel solves.
+func (f *LDLT) SolveMultiWith(dst, b [][]float64, work []float64) {
+	n, k := f.sym.n, len(dst)
+	if len(b) != k {
+		panic("sparse: LDLT.SolveMulti needs matching panel widths")
+	}
+	if k == 0 {
+		return
+	}
+	if len(work) != n*k {
+		panic("sparse: LDLT.SolveMultiWith workspace length mismatch")
+	}
+	for r := 0; r < k; r++ {
+		if len(dst[r]) != n || len(b[r]) != n {
+			panic("sparse: LDLT.SolveMulti dimension mismatch")
+		}
+	}
+	// Process the panel in blocks of up to 4 right-hand sides. The 4-wide
+	// block runs a specialized kernel holding the active solutions in
+	// registers — one traversal of the factor's index/value arrays per
+	// block, four fused updates per entry, no inner-loop bounds checks.
+	for lo := 0; lo < k; lo += 4 {
+		hi := lo + 4
+		if hi > k {
+			hi = k
+		}
+		if hi-lo == 4 {
+			f.solvePanel4(dst[lo:hi], b[lo:hi], work[:4*n])
+		} else {
+			f.solvePanelN(dst[lo:hi], b[lo:hi], work[:(hi-lo)*n])
+		}
+	}
+}
+
+// solvePanel4 solves exactly four right-hand sides in one factor traversal.
+func (f *LDLT) solvePanel4(dst, b [][]float64, work []float64) {
+	n := f.sym.n
+	perm := f.sym.perm
+	b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		work[4*i] = b0[pi]
+		work[4*i+1] = b1[pi]
+		work[4*i+2] = b2[pi]
+		work[4*i+3] = b3[pi]
+	}
+	colptr, rowidx, values, d := f.sym.colptr, f.sym.rowidx, f.values, f.d
+	for j := 0; j < n; j++ {
+		x0, x1, x2, x3 := work[4*j], work[4*j+1], work[4*j+2], work[4*j+3]
+		for q := colptr[j]; q < colptr[j+1]; q++ {
+			v := values[q]
+			t := 4 * int(rowidx[q])
+			work[t] -= v * x0
+			work[t+1] -= v * x1
+			work[t+2] -= v * x2
+			work[t+3] -= v * x3
+		}
+	}
+	for j := 0; j < n; j++ {
+		inv := 1 / d[j]
+		work[4*j] *= inv
+		work[4*j+1] *= inv
+		work[4*j+2] *= inv
+		work[4*j+3] *= inv
+	}
+	for j := n - 1; j >= 0; j-- {
+		x0, x1, x2, x3 := work[4*j], work[4*j+1], work[4*j+2], work[4*j+3]
+		for q := colptr[j]; q < colptr[j+1]; q++ {
+			v := values[q]
+			t := 4 * int(rowidx[q])
+			x0 -= v * work[t]
+			x1 -= v * work[t+1]
+			x2 -= v * work[t+2]
+			x3 -= v * work[t+3]
+		}
+		work[4*j] = x0
+		work[4*j+1] = x1
+		work[4*j+2] = x2
+		work[4*j+3] = x3
+	}
+	d0, d1, d2, d3 := dst[0], dst[1], dst[2], dst[3]
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		d0[pi] = work[4*i]
+		d1[pi] = work[4*i+1]
+		d2[pi] = work[4*i+2]
+		d3[pi] = work[4*i+3]
+	}
+}
+
+// solvePanelN is the generic interleaved kernel for 1-3 leftover
+// right-hand sides.
+func (f *LDLT) solvePanelN(dst, b [][]float64, work []float64) {
+	n, k := f.sym.n, len(dst)
+	perm := f.sym.perm
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		row := work[i*k : i*k+k]
+		for r := 0; r < k; r++ {
+			row[r] = b[r][pi]
+		}
+	}
+	colptr, rowidx, values, d := f.sym.colptr, f.sym.rowidx, f.values, f.d
+	for j := 0; j < n; j++ {
+		xj := work[j*k : j*k+k : j*k+k]
+		for q := colptr[j]; q < colptr[j+1]; q++ {
+			v := values[q]
+			ti := int(rowidx[q]) * k
+			tr := work[ti : ti+k : ti+k]
+			for r := range tr {
+				tr[r] -= v * xj[r]
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		inv := 1 / d[j]
+		row := work[j*k : j*k+k]
+		for r := range row {
+			row[r] *= inv
+		}
+	}
+	for j := n - 1; j >= 0; j-- {
+		xj := work[j*k : j*k+k : j*k+k]
+		for q := colptr[j]; q < colptr[j+1]; q++ {
+			v := values[q]
+			ti := int(rowidx[q]) * k
+			tr := work[ti : ti+k : ti+k]
+			for r := range xj {
+				xj[r] -= v * tr[r]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		row := work[i*k : i*k+k]
+		for r := 0; r < k; r++ {
+			dst[r][pi] = row[r]
+		}
 	}
 }

@@ -157,17 +157,14 @@ func spSolveL(lp []int, li []int, lx []float64, a *CSC, col int, xi, pstack []in
 			continue // row j not yet pivotal: no L column to eliminate with
 		}
 		xj := x[j] // L has unit diagonal (stored first), no division needed
-		for p := lp[jnew] + 1; p < lpEnd(lp, li, jnew); p++ {
+		// jnew < k always holds here (only already-pivotal rows are swept),
+		// so lp[jnew+1] is final.
+		for p := lp[jnew] + 1; p < lp[jnew+1]; p++ {
 			x[li[p]] -= lx[p] * xj
 		}
 	}
 	return top
 }
-
-// lpEnd returns the end of column jnew in the partially built L. For the
-// column currently under construction Colptr[jnew+1] is not yet valid, but
-// the DFS never visits it because its rows are not pivotal yet.
-func lpEnd(lp []int, li []int, jnew int) int { return lp[jnew+1] }
 
 // dfsL performs a non-recursive depth-first search from node j over the graph
 // of the partially built L (through pinv), pushing finished nodes onto
@@ -214,13 +211,15 @@ func dfsL(j int, lp []int, li []int, top int, xi, pstack []int, pinv []int, mark
 }
 
 // Solve computes x = A⁻¹ b, overwriting dst. dst and b may alias. It panics
-// if the lengths do not match the factored dimension.
+// if the lengths do not match the factored dimension. The workspace comes
+// from a shared pool; repeated solves allocate nothing.
 func (f *LU) Solve(dst, b []float64) {
 	if len(dst) != f.n || len(b) != f.n {
 		panic("sparse: LU.Solve dimension mismatch")
 	}
-	work := make([]float64, f.n)
-	f.SolveWith(dst, b, work)
+	w := getWork(f.n)
+	f.SolveWith(dst, b, (*w)[:f.n])
+	solveWork.Put(w)
 }
 
 // SolveWith is Solve with a caller-provided workspace of length n, allowing

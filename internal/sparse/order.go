@@ -65,43 +65,63 @@ func Order(a *CSC, o Ordering) []int {
 }
 
 // RCM returns the reverse Cuthill-McKee ordering of the pattern of a+aᵀ.
+// Component roots are the minimum-degree unvisited nodes, found by walking
+// one globally degree-sorted seed list (O(n log n) once) instead of
+// rescanning all nodes per component; the BFS reuses a single neighbor
+// scratch buffer across pops.
 func RCM(a *CSC) []int {
 	n := a.Cols
 	adj := symPattern(a)
 	deg := make([]int, n)
 	for i := range adj {
 		deg[i] = len(adj[i])
-		// Sorting neighbor lists by degree gives the classical CM behavior.
 	}
+	// Seeds sorted by (degree, index): the first unvisited seed is always
+	// the minimum-degree unvisited node, matching the classical root choice.
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.Slice(seeds, func(x, y int) bool {
+		if deg[seeds[x]] != deg[seeds[y]] {
+			return deg[seeds[x]] < deg[seeds[y]]
+		}
+		return seeds[x] < seeds[y]
+	})
 	visited := make([]bool, n)
 	order := make([]int, 0, n)
 	queue := make([]int, 0, n)
+	nbrs := make([]int, 0, 16)
 
-	for {
-		// Find an unvisited node of minimum degree as the next component root.
-		root := -1
-		for i := 0; i < n; i++ {
-			if !visited[i] && (root == -1 || deg[i] < deg[root]) {
-				root = i
-			}
-		}
-		if root == -1 {
-			break
+	for si := 0; si < n; si++ {
+		root := seeds[si]
+		if visited[root] {
+			continue
 		}
 		visited[root] = true
 		queue = append(queue[:0], root)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			order = append(order, v)
-			nbrs := make([]int, 0, len(adj[v]))
+			nbrs = nbrs[:0]
 			for _, w := range adj[v] {
 				if !visited[w] {
 					visited[w] = true
 					nbrs = append(nbrs, w)
 				}
 			}
-			sort.Slice(nbrs, func(x, y int) bool { return deg[nbrs[x]] < deg[nbrs[y]] })
+			// Insertion sort by degree: neighbor lists are short and almost
+			// sorted on meshes, and this avoids sort.Slice's closure
+			// allocation in the hot loop.
+			for i := 1; i < len(nbrs); i++ {
+				w := nbrs[i]
+				j := i - 1
+				for j >= 0 && deg[nbrs[j]] > deg[w] {
+					nbrs[j+1] = nbrs[j]
+					j--
+				}
+				nbrs[j+1] = w
+			}
 			queue = append(queue, nbrs...)
 		}
 	}
@@ -112,45 +132,129 @@ func RCM(a *CSC) []int {
 	return order
 }
 
+// degreeLists is a bucket structure over node degrees: doubly linked lists
+// threaded through next/prev arrays, one list head per degree. Minimum
+// selection walks the bucket array upward from a cursor that only moves
+// down on insertions below it — amortized O(1) per operation instead of the
+// O(n) min-scan of the textbook algorithm.
+type degreeLists struct {
+	head       []int // head[d] = first node of degree d, or -1
+	next, prev []int
+	cursor     int // no nonempty bucket below this degree
+}
+
+func newDegreeLists(n int) *degreeLists {
+	dl := &degreeLists{head: make([]int, n+1), next: make([]int, n), prev: make([]int, n)}
+	for d := range dl.head {
+		dl.head[d] = -1
+	}
+	return dl
+}
+
+func (dl *degreeLists) insert(v, d int) {
+	h := dl.head[d]
+	dl.next[v] = h
+	dl.prev[v] = -1
+	if h != -1 {
+		dl.prev[h] = v
+	}
+	dl.head[d] = v
+	if d < dl.cursor {
+		dl.cursor = d
+	}
+}
+
+func (dl *degreeLists) remove(v, d int) {
+	if dl.prev[v] != -1 {
+		dl.next[dl.prev[v]] = dl.next[v]
+	} else {
+		dl.head[d] = dl.next[v]
+	}
+	if dl.next[v] != -1 {
+		dl.prev[dl.next[v]] = dl.prev[v]
+	}
+}
+
+// popMin removes and returns a node of minimum degree (-1 when empty).
+func (dl *degreeLists) popMin() int {
+	for dl.cursor < len(dl.head) {
+		if v := dl.head[dl.cursor]; v != -1 {
+			dl.remove(v, dl.cursor)
+			return v
+		}
+		dl.cursor++
+	}
+	return -1
+}
+
 // MinDegree returns a greedy minimum-degree ordering of the pattern of a+aᵀ.
-// It maintains an explicit elimination graph; eliminating node v connects all
-// of v's remaining neighbors into a clique. This is the textbook algorithm
-// (not AMD), adequate for the moderate problem sizes in this repository.
+// It maintains an explicit elimination graph — eliminating node v connects
+// all of v's remaining neighbors into a clique — with bucketed degree lists
+// for O(1) minimum selection and slice-based adjacency merged through a
+// stamp array (no per-node hash maps). Still the greedy elimination-graph
+// algorithm rather than AMD, but without its quadratic bookkeeping.
 func MinDegree(a *CSC) []int {
 	n := a.Cols
-	adjLists := symPattern(a)
-	adj := make([]map[int]struct{}, n)
-	for i, lst := range adjLists {
-		adj[i] = make(map[int]struct{}, len(lst))
-		for _, w := range lst {
-			adj[i][w] = struct{}{}
-		}
+	adj := symPattern(a)
+	deg := make([]int, n)
+	dl := newDegreeLists(n)
+	for i := range adj {
+		deg[i] = len(adj[i])
+		dl.insert(i, deg[i])
 	}
-	eliminated := make([]bool, n)
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
 	order := make([]int, 0, n)
-	for len(order) < n {
-		// Pick the remaining node with minimum current degree.
-		best, bestDeg := -1, n+1
-		for i := 0; i < n; i++ {
-			if !eliminated[i] && len(adj[i]) < bestDeg {
-				best, bestDeg = i, len(adj[i])
-			}
+	var merged []int
+	for {
+		v := dl.popMin()
+		if v == -1 {
+			break
 		}
-		v := best
-		eliminated[v] = true
 		order = append(order, v)
-		nbrs := make([]int, 0, len(adj[v]))
-		for w := range adj[v] {
-			nbrs = append(nbrs, w)
+		nbrs := adj[v]
+		// Rebuild each neighbor's list as (old ∖ {v}) ∪ (nbrs ∖ {w}),
+		// deduplicated with the stamp array. Lists hold live nodes only
+		// (every elimination rebuilds exactly its neighbors), so degrees
+		// stay exact.
+		for _, w := range nbrs {
+			stamp[w] = v
 		}
 		for _, w := range nbrs {
-			delete(adj[w], v)
-		}
-		for i := 0; i < len(nbrs); i++ {
-			for j := i + 1; j < len(nbrs); j++ {
-				wi, wj := nbrs[i], nbrs[j]
-				adj[wi][wj] = struct{}{}
-				adj[wj][wi] = struct{}{}
+			merged = merged[:0]
+			for _, x := range adj[w] {
+				if x != v {
+					merged = append(merged, x)
+				}
+			}
+			// Stamp the survivors so clique edges are not duplicated.
+			token := n + v + 1 // distinct from the nbrs stamp value v
+			for _, x := range merged {
+				if stamp[x] == v {
+					stamp[x] = token
+				}
+			}
+			for _, x := range nbrs {
+				if x != w && stamp[x] == v {
+					merged = append(merged, x)
+				}
+			}
+			// Restore the nbrs stamp for the next neighbor's merge.
+			for _, x := range merged {
+				if stamp[x] == token {
+					stamp[x] = v
+				}
+			}
+			old := len(adj[w])
+			adj[w] = append(adj[w][:0], merged...)
+			if len(adj[w]) != old {
+				dl.remove(w, deg[w])
+				deg[w] = len(adj[w])
+				dl.insert(w, deg[w])
+			} else {
+				deg[w] = len(adj[w])
 			}
 		}
 		adj[v] = nil

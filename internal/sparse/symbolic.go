@@ -1,0 +1,537 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Symbolic is the once-per-pattern analysis of a symmetric matrix for LDLᵀ
+// factorization: the fill-reducing ordering, the elimination tree, the exact
+// static nonzero pattern of L (per-column counts and row indices, Gilbert/
+// Ng/Peierls style), a scatter map from the input matrix into the permuted
+// upper triangle, and the elimination-tree task partition that drives the
+// parallel triangular solves (with the underlying level sets available for
+// diagnostics).
+//
+// An analysis depends only on the sparsity pattern (and ordering), never on
+// values: every scalar shift C + γG of one base pattern shares a single
+// Symbolic, and Refactor fills a factorization numerically in O(flops) with
+// no appends, no per-column elimination-tree reach, and no heap allocation
+// beyond the factor itself. Symbolic is immutable after construction and
+// safe for concurrent use by any number of Refactor calls.
+type Symbolic struct {
+	n    int
+	lnz  int
+	perm []int // column k of the factorization is column perm[k] of A
+	pinv []int
+	// parent is the elimination tree; -1 marks a root.
+	parent []int32
+
+	// Static CSC pattern of L: column j holds rows colptr[j]:colptr[j+1] of
+	// rowidx, strictly below the (implied unit) diagonal, ascending.
+	colptr []int
+	rowidx []int32
+
+	// Row patterns of L, the up-looking factorization's working view: row k
+	// touches columns rowind[rowptr[k]:rowptr[k+1]] in elimination (reach)
+	// order — descendants before ancestors — and the value L(k, rowind[t])
+	// lives at position rowpos[t] of the factor's value array. The gather
+	// (dot-product) forward solve reads the same arrays.
+	rowptr []int
+	rowind []int32
+	rowpos []int32
+
+	// Scatter map from the analyzed matrix into the permuted upper triangle:
+	// permuted column k draws the value at aSrc[p] of the input's value
+	// array onto permuted row aRow[p] <= k, for p in aColptr[k]:aColptr[k+1].
+	aColptr []int
+	aSrc    []int32
+	aRow    []int32
+
+	// Level schedules, built lazily (levelSchedules): the exact dependency
+	// depths of the triangular solves, concatenated in ptr/rows form.
+	// Forward (L·z = b) levels come from the row patterns, backward
+	// (Lᵀ·x = z) levels from the column patterns; within one level the
+	// gather-form row updates are independent. The executing schedule is
+	// the coarsened task partition below — the level sets exist for
+	// diagnostics and for verifying that partition, so they are not
+	// computed (or retained) unless asked for.
+	levOnce sync.Once
+	fwdPtr  []int
+	fwdRows []int32
+	bwdPtr  []int
+	bwdRows []int32
+	// maxLevelWidth is the widest level across both schedules.
+	maxLevelWidth int
+
+	// Coarsened execution schedule for the parallel solves: the etree is cut
+	// into independent subtrees of bounded work (tasks) plus the separator
+	// tail of their common ancestors. Row k's forward dependencies are etree
+	// descendants and its backward dependencies ancestors, so tasks never
+	// depend on each other — the forward solve runs tasks concurrently, one
+	// barrier, then the tail; the backward solve runs the tail first, one
+	// barrier, then the tasks. This trades the level sets' abundant but
+	// fine-grained parallelism (one sync per level) for two syncs per solve.
+	taskPtr  []int
+	taskRows []int32
+	tailRows []int32
+	// parWork/tailWork split lnz between task rows and tail rows; the solver
+	// goes parallel only when the task share dominates.
+	parWork, tailWork int
+
+	patFP uint64 // PatternFingerprint of the analyzed matrix
+}
+
+// N returns the analyzed dimension.
+func (s *Symbolic) N() int { return s.n }
+
+// LNZ returns the number of strictly-lower entries of L (the exact fill).
+func (s *Symbolic) LNZ() int { return s.lnz }
+
+// Perm returns the fill-reducing permutation (not a copy; do not modify).
+func (s *Symbolic) Perm() []int { return s.perm }
+
+// Levels returns the number of forward-solve levels — the critical-path
+// length of the triangular solves; n means a chain (no parallelism), 1 a
+// diagonal matrix.
+func (s *Symbolic) Levels() int {
+	s.levelSchedules()
+	return len(s.fwdPtr) - 1
+}
+
+// Bytes estimates the resident size of the analysis, for cache accounting.
+func (s *Symbolic) Bytes() int64 {
+	return int64(s.n)*40 + int64(s.lnz)*16 + int64(len(s.aSrc))*8
+}
+
+// PatternFingerprint hashes the sparsity pattern of a — dimensions, column
+// pointers and row indices, but not values — with FNV-1a. Two matrices with
+// equal pattern fingerprints share a Symbolic analysis; the adaptive
+// stepper's (C/h + G/2) grid and the γ-shift grid (C + γG) each map their
+// whole families onto one analysis this way.
+func PatternFingerprint(a *CSC) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(a.Rows))
+	h = fnvMix(h, uint64(a.Cols))
+	h = fnvMix(h, uint64(len(a.Rowidx)))
+	for _, p := range a.Colptr {
+		h = fnvMix(h, uint64(p))
+	}
+	for _, i := range a.Rowidx {
+		h = fnvMix(h, uint64(i))
+	}
+	return h
+}
+
+// AnalyzeLDLT performs the symbolic analysis of the symmetric matrix a under
+// the given ordering: ordering, elimination tree, exact column counts and
+// static pattern of L, the input scatter map, and the parallel-solve task
+// schedule. Only the pattern of a is read. The result serves any matrix
+// with the same pattern through Refactor.
+func AnalyzeLDLT(a *CSC, order Ordering) (*Symbolic, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: AnalyzeLDLT needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Cols
+	s := &Symbolic{n: n, patFP: PatternFingerprint(a)}
+	s.perm = Order(a, order)
+	s.pinv = InversePerm(s.perm)
+
+	// Scatter map: the upper triangle (incl. diagonal) of the permuted
+	// matrix, column by column, without materializing the permuted matrix.
+	// Entry p of original column j = perm-column pinv[j] lands on permuted
+	// row pinv[i]; symmetric input means scanning whole original columns
+	// finds every upper-triangle entry exactly once.
+	cnt := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		k := s.pinv[j]
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			if s.pinv[a.Rowidx[p]] <= k {
+				cnt[k+1]++
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		cnt[k+1] += cnt[k]
+	}
+	s.aColptr = cnt
+	nnzU := cnt[n]
+	s.aSrc = make([]int32, nnzU)
+	s.aRow = make([]int32, nnzU)
+	next := make([]int, n)
+	for k := 0; k < n; k++ {
+		next[k] = s.aColptr[k]
+	}
+	for j := 0; j < n; j++ {
+		k := s.pinv[j]
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := s.pinv[a.Rowidx[p]]
+			if i <= k {
+				q := next[k]
+				next[k]++
+				s.aSrc[q] = int32(p)
+				s.aRow[q] = int32(i)
+			}
+		}
+	}
+
+	// Elimination tree over the permuted upper triangle (path compression
+	// via virtual ancestors).
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		ancestor[k] = -1
+		for p := s.aColptr[k]; p < s.aColptr[k+1]; p++ {
+			i := s.aRow[p]
+			for i != -1 && int(i) < k {
+				nxt := ancestor[i]
+				ancestor[i] = int32(k)
+				if nxt == -1 {
+					parent[i] = int32(k)
+				}
+				i = nxt
+			}
+		}
+	}
+	s.parent = parent
+
+	// Exact per-column counts: one reach pass counting, one filling. Each
+	// pass costs O(lnz) total — the reach of row k lists exactly the columns
+	// of L with an entry in row k, in topological order.
+	mark := make([]int32, n)
+	xi := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	colcount := make([]int, n+1)
+	rowcount := make([]int, n+1)
+	for k := 0; k < n; k++ {
+		top := s.reach(k, mark, xi)
+		rowcount[k+1] = n - top
+		for t := top; t < n; t++ {
+			colcount[xi[t]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		colcount[i+1] += colcount[i]
+		rowcount[i+1] += rowcount[i]
+	}
+	s.colptr = colcount
+	s.rowptr = rowcount
+	s.lnz = colcount[n]
+	s.rowidx = make([]int32, s.lnz)
+	s.rowind = make([]int32, s.lnz)
+	s.rowpos = make([]int32, s.lnz)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		next[k] = s.colptr[k]
+	}
+	for k := 0; k < n; k++ {
+		top := s.reach(k, mark, xi)
+		base := s.rowptr[k]
+		for t := top; t < n; t++ {
+			i := xi[t]
+			q := next[i]
+			next[i]++
+			s.rowidx[q] = int32(k)
+			s.rowind[base] = i
+			s.rowpos[base] = int32(q)
+			base++
+		}
+	}
+
+	s.buildTasks()
+	return s, nil
+}
+
+// levelSchedules builds the forward/backward level sets on first use (they
+// are diagnostic — see the field comment — and skipped during analysis).
+func (s *Symbolic) levelSchedules() {
+	s.levOnce.Do(s.buildLevels)
+}
+
+// buildTasks cuts the elimination tree into the task/tail execution
+// schedule: a node roots a task when its subtree work fits the chunk bound
+// but its parent's does not. Children precede parents in index order
+// (parent[k] > k), so subtree sums and top-down task assignment are both
+// single passes.
+func (s *Symbolic) buildTasks() {
+	n := s.n
+	work := make([]int64, n)
+	for k := 0; k < n; k++ {
+		work[k] = int64(s.rowptr[k+1]-s.rowptr[k]) + 1
+	}
+	for k := 0; k < n; k++ {
+		if p := s.parent[k]; p != -1 {
+			work[p] += work[k]
+		}
+	}
+	// Chunk bound selection: small chunks balance load, large chunks pull
+	// the cut toward the root and shrink the sequential separator tail.
+	// Escalate the bound until the tail is below a quarter of the work with
+	// at least two independent tasks; a pattern where no bound achieves
+	// that (e.g. one strongly coupled mesh whose root separators hold most
+	// of the fill) has no exploitable solve parallelism, and the empty
+	// schedule makes ParallelizableSolve report false.
+	total := int64(0)
+	for k := 0; k < n; k++ {
+		total += int64(s.rowptr[k+1] - s.rowptr[k])
+	}
+	chunkMax := int64(-1)
+	for _, div := range []int64{32, 16, 8, 4, 2, 1} {
+		c := total/div + 1
+		if c < 4096 {
+			continue
+		}
+		var tail int64
+		tasks := 0
+		for k := 0; k < n; k++ {
+			if work[k] > c {
+				tail += int64(s.rowptr[k+1] - s.rowptr[k])
+			} else if p := s.parent[k]; p == -1 || work[p] > c {
+				tasks++
+			}
+		}
+		if tasks >= 2 && tail*4 <= total {
+			chunkMax = c
+			break
+		}
+	}
+	if chunkMax < 0 {
+		s.taskPtr = []int{0}
+		s.tailWork = int(total)
+		return
+	}
+	// taskOf[k] = index of k's task root, or -1 for the tail. Parents have
+	// larger indices, so descending k sees the parent's assignment first.
+	taskOf := make([]int32, n)
+	var roots []int32
+	for k := n - 1; k >= 0; k-- {
+		p := s.parent[k]
+		if p != -1 && taskOf[p] != -1 {
+			taskOf[k] = taskOf[p] // inside an ancestor's task subtree
+			continue
+		}
+		if work[k] <= chunkMax {
+			taskOf[k] = int32(len(roots))
+			roots = append(roots, int32(k))
+		} else {
+			taskOf[k] = -1
+		}
+	}
+	s.taskPtr = make([]int, len(roots)+1)
+	for k := 0; k < n; k++ {
+		if t := taskOf[k]; t != -1 {
+			s.taskPtr[t+1]++
+			s.parWork += s.rowptr[k+1] - s.rowptr[k]
+		} else {
+			s.tailWork += s.rowptr[k+1] - s.rowptr[k]
+		}
+	}
+	for t := 0; t < len(roots); t++ {
+		s.taskPtr[t+1] += s.taskPtr[t]
+	}
+	s.taskRows = make([]int32, s.taskPtr[len(roots)])
+	s.tailRows = make([]int32, 0, n-len(s.taskRows))
+	next := make([]int, len(roots))
+	copy(next, s.taskPtr[:len(roots)])
+	for k := 0; k < n; k++ {
+		if t := taskOf[k]; t != -1 {
+			s.taskRows[next[t]] = int32(k)
+			next[t]++
+		} else {
+			s.tailRows = append(s.tailRows, int32(k))
+		}
+	}
+}
+
+// reach computes the nonzero pattern of row k of L — the nodes reachable
+// from the permuted column k's upper entries by walking up the elimination
+// tree — into xi[top:n] in topological order, returning top. mark must be a
+// (-1)-initialized workspace stamped by k.
+func (s *Symbolic) reach(k int, mark, xi []int32) int {
+	n := s.n
+	top := n
+	mark[k] = int32(k)
+	var stackArr [64]int32
+	for p := s.aColptr[k]; p < s.aColptr[k+1]; p++ {
+		i := s.aRow[p]
+		if int(i) >= k {
+			continue
+		}
+		path := stackArr[:0]
+		for i != -1 && mark[i] != int32(k) {
+			path = append(path, i)
+			mark[i] = int32(k)
+			i = s.parent[i]
+		}
+		for len(path) > 0 {
+			top--
+			xi[top] = path[len(path)-1]
+			path = path[:len(path)-1]
+		}
+	}
+	return top
+}
+
+// buildLevels computes the forward and backward solve level schedules. The
+// forward gather solve finalizes row k after every column in its row pattern
+// (all of which are etree descendants); the backward solve finalizes row i
+// after every row in its column pattern (etree ancestors). Rows sharing a
+// level have disjoint dependencies and run concurrently without write
+// conflicts — each row is a gather into its own entry.
+func (s *Symbolic) buildLevels() {
+	n := s.n
+	lev := make([]int32, n)
+	maxLev := int32(-1)
+	for k := 0; k < n; k++ {
+		l := int32(0)
+		for t := s.rowptr[k]; t < s.rowptr[k+1]; t++ {
+			if pl := lev[s.rowind[t]] + 1; pl > l {
+				l = pl
+			}
+		}
+		lev[k] = l
+		if l > maxLev {
+			maxLev = l
+		}
+	}
+	s.fwdPtr, s.fwdRows = bucketLevels(lev, int(maxLev)+1)
+
+	for i := range lev {
+		lev[i] = 0
+	}
+	maxLev = -1
+	for i := n - 1; i >= 0; i-- {
+		l := int32(0)
+		for q := s.colptr[i]; q < s.colptr[i+1]; q++ {
+			if pl := lev[s.rowidx[q]] + 1; pl > l {
+				l = pl
+			}
+		}
+		lev[i] = l
+		if l > maxLev {
+			maxLev = l
+		}
+	}
+	s.bwdPtr, s.bwdRows = bucketLevels(lev, int(maxLev)+1)
+
+	for l := 0; l+1 < len(s.fwdPtr); l++ {
+		if w := s.fwdPtr[l+1] - s.fwdPtr[l]; w > s.maxLevelWidth {
+			s.maxLevelWidth = w
+		}
+	}
+	for l := 0; l+1 < len(s.bwdPtr); l++ {
+		if w := s.bwdPtr[l+1] - s.bwdPtr[l]; w > s.maxLevelWidth {
+			s.maxLevelWidth = w
+		}
+	}
+}
+
+// bucketLevels groups rows by level into a concatenated ptr/rows pair; rows
+// stay ascending within each level.
+func bucketLevels(lev []int32, nlev int) ([]int, []int32) {
+	if nlev < 1 {
+		nlev = 1
+	}
+	ptr := make([]int, nlev+1)
+	for _, l := range lev {
+		ptr[l+1]++
+	}
+	for l := 0; l < nlev; l++ {
+		ptr[l+1] += ptr[l]
+	}
+	rows := make([]int32, len(lev))
+	next := append([]int(nil), ptr[:nlev]...)
+	for i, l := range lev {
+		rows[next[l]] = int32(i)
+		next[l]++
+	}
+	return ptr, rows
+}
+
+// Refactor numerically factorizes a — any matrix with the analyzed pattern —
+// into a fresh LDLT. The factor's value arrays are the only allocations;
+// repeated refactorization into an existing factor (RefactorInto) allocates
+// nothing.
+func (s *Symbolic) Refactor(a *CSC) (*LDLT, error) {
+	f := &LDLT{
+		sym:     s,
+		values:  make([]float64, s.lnz),
+		valuesR: make([]float64, s.lnz),
+		d:       make([]float64, s.n),
+		y:       make([]float64, s.n),
+	}
+	if err := s.RefactorInto(f, a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RefactorInto refills an existing factor (previously produced by Refactor
+// against this same analysis) with the values of a. It performs the
+// up-looking elimination over the static pattern: no appends, no reach
+// recomputation, no heap allocation. It returns ErrSingular on a zero pivot,
+// leaving the factor contents unspecified.
+func (s *Symbolic) RefactorInto(f *LDLT, a *CSC) error {
+	if f.sym != s {
+		return fmt.Errorf("sparse: RefactorInto factor belongs to a different analysis")
+	}
+	// Dimension check only; the pattern itself is trusted to match (callers
+	// key Symbolic lookups by PatternFingerprint).
+	if a.Rows != s.n || a.Cols != s.n {
+		return fmt.Errorf("sparse: RefactorInto dimension mismatch: analysis %d, matrix %dx%d", s.n, a.Rows, a.Cols)
+	}
+	values, valuesR, d, y := f.values, f.valuesR, f.d, f.y
+	av := a.Values
+	for k := 0; k < s.n; k++ {
+		// Scatter the permuted upper column k and grab the diagonal.
+		dk := 0.0
+		for p := s.aColptr[k]; p < s.aColptr[k+1]; p++ {
+			i := s.aRow[p]
+			v := av[s.aSrc[p]]
+			if int(i) == k {
+				dk += v // duplicates cannot occur post-merge, but += is free
+			} else {
+				y[i] += v
+			}
+		}
+		// Up-looking elimination along the precomputed row pattern
+		// (topological order). Entries of column i filled so far are exactly
+		// colptr[i] .. rowpos[t] — rows < k by construction.
+		for t := s.rowptr[k]; t < s.rowptr[k+1]; t++ {
+			i := s.rowind[t]
+			yi := y[i]
+			y[i] = 0
+			lki := yi / d[i]
+			end := int(s.rowpos[t])
+			for q := s.colptr[i]; q < end; q++ {
+				y[s.rowidx[q]] -= values[q] * yi
+			}
+			dk -= lki * yi
+			values[end] = lki
+			valuesR[t] = lki // row-major mirror for the gather forward solve
+		}
+		if dk == 0 || math.IsNaN(dk) {
+			// Clear the scatter residue before returning so a retry (or a
+			// later refactorization) starts from a clean workspace.
+			for i := range y {
+				y[i] = 0
+			}
+			return fmt.Errorf("%w: zero pivot at column %d in LDLT", ErrSingular, k)
+		}
+		d[k] = dk
+	}
+	return nil
+}
+
+// Tasks returns the number of independent subtree tasks in the parallel
+// execution schedule.
+func (s *Symbolic) Tasks() int { return len(s.taskPtr) - 1 }
+
+// TailWork returns the separator-tail share of lnz (diagnostics).
+func (s *Symbolic) TailWork() (tail, total int) { return s.tailWork, s.tailWork + s.parWork }

@@ -94,7 +94,7 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			for i := range rhs {
 				rhs[i] += 0.5 * (bu0[i] + bu1[i])
 			}
-			lhs.SolveWith(x, rhs, work)
+			solveWith(lhs, x, rhs, work, opts)
 			res.Stats.SolvePairs++
 		case BEFixed:
 			sys.EvalB(t1, bu1, opts.ActiveInputs)
@@ -103,7 +103,7 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			for i := range rhs {
 				rhs[i] += bu1[i]
 			}
-			lhs.SolveWith(x, rhs, work)
+			solveWith(lhs, x, rhs, work, opts)
 			res.Stats.SolvePairs++
 		case FEFixed:
 			// x' = C⁻¹(-Gx + Bu): one SpMV plus one substitution pair.
@@ -113,7 +113,7 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			for i := range rhs {
 				rhs[i] = bu0[i] - rhs[i]
 			}
-			lhs.SolveWith(rhs, rhs, work)
+			solveWith(lhs, rhs, rhs, work, opts)
 			res.Stats.SolvePairs++
 			for i := range x {
 				x[i] += hs * rhs[i]

@@ -92,6 +92,7 @@ func SimulateMatex(sys *circuit.System, method Method, opts Options) (*Result, e
 	default:
 		return nil, fmt.Errorf("transient: SimulateMatex got %v", method)
 	}
+	op.SetSolveWorkers(opts.SolveWorkers)
 	res.Stats.FactorTime += time.Since(tFac)
 
 	// Time grid: the active inputs' transition spots (where subspaces must
@@ -180,7 +181,7 @@ func SimulateMatex(sys *circuit.System, method Method, opts Options) (*Result, e
 					w0[i] = 0
 				}
 			} else {
-				factG.SolveWith(w0, bu0, work)
+				solveWith(factG, w0, bu0, work, opts)
 				res.Stats.SolvePairs++
 			}
 			op.ClearSegment()

@@ -7,6 +7,7 @@ import (
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/krylov"
+	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/waveform"
 )
 
@@ -55,6 +56,7 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 	default:
 		return nil, fmt.Errorf("transient: simulateMatexFP got %v", method)
 	}
+	op.SetSolveWorkers(opts.SolveWorkers)
 
 	lts := gtsForMask(sys, opts)
 	outs := evalGrid(sys, opts)
@@ -81,6 +83,7 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 	vaug := make([]float64, n+2)
 	xaug := make([]float64, n+2)
 	work := make([]float64, n)
+	var mdst, msrc [2][]float64
 	hChecks := make([]float64, 0, 2)
 	kopts := krylov.Options{MaxDim: opts.MaxDim, Tol: opts.Tol, Method: opts.Krylov, Workspace: ws}
 
@@ -105,10 +108,19 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 		for i := range slope {
 			slope[i] = (bu1[i] - bu0[i]) / hSeg
 		}
-		factG.SolveWith(w0, bu0, work)
-		factG.SolveWith(w1, slope, work)
+		// w0 and w1 are independent right-hand sides: one blocked panel
+		// solve traverses the factor once for both when available; r2
+		// depends on w1 and follows separately.
+		if ms, ok := factG.(sparse.MultiSolver); ok {
+			mdst[0], mdst[1] = w0, w1
+			msrc[0], msrc[1] = bu0, slope
+			ms.SolveMulti(mdst[:], msrc[:])
+		} else {
+			solveWith(factG, w0, bu0, work, opts)
+			solveWith(factG, w1, slope, work, opts)
+		}
 		sys.C.MulVec(xe, w1)
-		factG.SolveWith(r2, xe, work)
+		solveWith(factG, r2, xe, work, opts)
 		res.Stats.SolvePairs += 3
 		res.Stats.SpMVs++
 

@@ -131,6 +131,12 @@ type Options struct {
 	// matexd workers share one pool per process the way they share the
 	// factorization cache. Nil uses the package-wide default pool.
 	Workspaces *krylov.WorkspacePool `json:"-"`
+	// SolveWorkers, when > 1, runs every triangular solve through the
+	// factorization's level-scheduled parallel path (sparse.ParSolver) with
+	// that many goroutines. The solver falls back to the sequential path on
+	// factorizations without level schedules and below the profitability
+	// crossover, so any value is safe; 0 and 1 keep solves sequential.
+	SolveWorkers int
 }
 
 // workspaces resolves the arena pool.
@@ -175,7 +181,14 @@ type Stats struct {
 	CacheMisses int
 	// LanczosSpots counts the Krylov subspaces generated through the
 	// symmetric Lanczos fast path (the remainder used Arnoldi).
-	LanczosSpots  int
+	LanczosSpots int
+	// SymbolicHits counts factorizations that reused a cached symbolic
+	// analysis (pattern tier of Options.Cache); Refactors counts computed
+	// factorizations that went through the cheap numeric refactorization
+	// path at all (including the one that built the analysis). Refactors -
+	// SymbolicHits is therefore the number of symbolic analyses paid for.
+	SymbolicHits  int
+	Refactors     int
 	DCTime        time.Duration
 	FactorTime    time.Duration
 	TransientTime time.Duration
@@ -295,16 +308,11 @@ func Simulate(sys *circuit.System, method Method, opts Options) (*Result, error)
 // one is configured and updating the work counters either way.
 func acquireFactor(a *sparse.CSC, opts Options, stats *Stats) (sparse.Factorization, error) {
 	if opts.Cache != nil {
-		f, hit, err := opts.Cache.Factor(a, opts.FactorKind, opts.Ordering)
+		f, info, err := opts.Cache.FactorEx(a, opts.FactorKind, opts.Ordering)
 		if err != nil {
 			return nil, err
 		}
-		if hit {
-			stats.CacheHits++
-		} else {
-			stats.CacheMisses++
-			stats.Factorizations++
-		}
+		stats.AddFactorInfo(info)
 		return f, nil
 	}
 	f, err := sparse.Factor(a, opts.FactorKind, opts.Ordering)
@@ -317,19 +325,15 @@ func acquireFactor(a *sparse.CSC, opts Options, stats *Stats) (sparse.Factorizat
 
 // acquireFactorSum obtains a factorization of alpha·a + beta·b, consulting
 // the run cache when one is configured. On a cache hit the sum matrix is
-// never even built.
+// never even built; on a miss the cache's symbolic tier still collapses all
+// scalar shifts of one pattern onto a single analysis.
 func acquireFactorSum(alpha float64, a *sparse.CSC, beta float64, b *sparse.CSC, opts Options, stats *Stats) (sparse.Factorization, error) {
 	if opts.Cache != nil {
-		f, hit, err := opts.Cache.FactorSum(alpha, a, beta, b, opts.FactorKind, opts.Ordering)
+		f, info, err := opts.Cache.FactorSumEx(alpha, a, beta, b, opts.FactorKind, opts.Ordering)
 		if err != nil {
 			return nil, err
 		}
-		if hit {
-			stats.CacheHits++
-		} else {
-			stats.CacheMisses++
-			stats.Factorizations++
-		}
+		stats.AddFactorInfo(info)
 		return f, nil
 	}
 	f, err := sparse.Factor(sparse.Add(alpha, a, beta, b), opts.FactorKind, opts.Ordering)
@@ -338,6 +342,35 @@ func acquireFactorSum(alpha float64, a *sparse.CSC, beta float64, b *sparse.CSC,
 	}
 	stats.Factorizations++
 	return f, nil
+}
+
+// AddFactorInfo folds one cache acquisition into the work counters; the
+// distributed scheduler uses it for its own DC-solve acquisition.
+func (s *Stats) AddFactorInfo(info sparse.FactorInfo) {
+	if info.Hit {
+		s.CacheHits++
+		return
+	}
+	s.CacheMisses++
+	s.Factorizations++
+	if info.Refactored {
+		s.Refactors++
+	}
+	if info.SymbolicHit {
+		s.SymbolicHits++
+	}
+}
+
+// solveWith runs one substitution pair through the parallel solver when
+// Options.SolveWorkers asks for one and the factorization offers it.
+func solveWith(f sparse.Factorization, dst, b, work []float64, opts Options) {
+	if opts.SolveWorkers > 1 {
+		if ps, ok := f.(sparse.ParSolver); ok {
+			ps.ParSolveWith(dst, b, work, opts.SolveWorkers)
+			return
+		}
+	}
+	f.SolveWith(dst, b, work)
 }
 
 // initialState resolves x(0): the caller-provided state or the DC operating

@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
-# bench.sh — run the Krylov fast-path benchmark suite and emit a JSON
-# trajectory file (name → ns/op, B/op, allocs/op, custom metrics).
+# bench.sh — run the solver-layer benchmark suite (Krylov fast path +
+# factorization engine) and emit a JSON trajectory file (name → ns/op,
+# B/op, allocs/op, custom metrics).
 #
 # Usage:
-#   scripts/bench.sh [out.json]          # default out: BENCH_PR3.json
+#   scripts/bench.sh [out.json]          # default out: BENCH_PR4.json
 #   BENCHTIME=200x scripts/bench.sh      # longer runs for stable numbers
 #   BENCH_PATTERN='^Benchmark' scripts/bench.sh all.json   # whole suite
 #
 # CI runs this with a short BENCHTIME and uploads the JSON as an artifact;
-# the committed BENCH_PR3.json is regenerated manually with the default
-# settings when the Krylov code changes.
+# the committed BENCH_PR4.json is regenerated manually with the default
+# settings when the solver layer changes. The default pattern covers the
+# Krylov spot pipeline (PR 3) and the factorization engine rows (PR 4):
+# BenchmarkFactor vs BenchmarkRefactor is the symbolic/numeric split,
+# BenchmarkSolveSeq_k* vs BenchmarkSolveMulti_k* the blocked panel solves,
+# BenchmarkSolveSeq/Par_4dom the level-scheduled parallel solve.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 benchtime="${BENCHTIME:-100x}"
-pattern="${BENCH_PATTERN:-^BenchmarkKrylov}"
+pattern="${BENCH_PATTERN:-^Benchmark(Krylov|Factor_|Refactor_|SolveSeq_|SolvePar_|SolveMulti_)}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
