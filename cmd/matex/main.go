@@ -29,23 +29,6 @@ import (
 	"github.com/matex-sim/matex/internal/transient"
 )
 
-var methods = map[string]transient.Method{
-	"tr":     transient.TRFixed,
-	"be":     transient.BEFixed,
-	"fe":     transient.FEFixed,
-	"tradpt": transient.TRAdaptive,
-	"mexp":   transient.MEXP,
-	"imatex": transient.IMATEX,
-	"rmatex": transient.RMATEX,
-}
-
-var orderings = map[string]sparse.Ordering{
-	"default": sparse.OrderDefault,
-	"natural": sparse.OrderNatural,
-	"rcm":     sparse.OrderRCM,
-	"mindeg":  sparse.OrderMinDegree,
-}
-
 func main() {
 	method := flag.String("method", "rmatex", "integrator: tr, be, fe, tradpt, mexp, imatex, rmatex")
 	tstop := flag.Float64("tstop", 0, "simulation window in seconds (default: the deck's .tran stop)")
@@ -58,6 +41,7 @@ func main() {
 	krylovFlag := flag.String("krylov", "auto", "Krylov subspace process: auto (symmetric Lanczos fast path where eligible), arnoldi, lanczos")
 	cacheMB := flag.Int("cache-mb", 256, "factorization cache budget in MiB (0 disables the cache)")
 	solvePar := flag.Int("solve-par", 0, "goroutines for level-scheduled parallel triangular solves (0/1 = sequential; effective only when the factor's level schedule is wide enough)")
+	stream := flag.Bool("stream", false, "emit each TSV row as the integrator produces it (unbuffered waveform streaming; non-distributed runs only)")
 	stats := flag.Bool("stats", false, "print solver work statistics to stderr")
 	flag.Parse()
 
@@ -66,13 +50,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	m, ok := methods[strings.ToLower(*method)]
-	if !ok {
-		fatal(fmt.Errorf("unknown method %q", *method))
+	m, err := transient.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
 	}
-	ord, ok := orderings[strings.ToLower(*order)]
-	if !ok {
-		fatal(fmt.Errorf("unknown ordering %q", *order))
+	ord, err := sparse.ParseOrdering(*order)
+	if err != nil {
+		fatal(err)
 	}
 	km, err := krylov.ParseMethod(strings.ToLower(*krylovFlag))
 	if err != nil {
@@ -115,24 +99,43 @@ func main() {
 			probeNames = names[:1]
 		}
 	}
-	var probes []int
-	var kept []string
-	for _, name := range probeNames {
-		idx, _, fixed, err := sys.NodeIndex(name)
-		if err != nil {
-			fatal(err)
+	probes, kept, skipped, err := sys.ResolveProbes(probeNames)
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range skipped {
+		fmt.Fprintf(os.Stderr, "matex: %s is a supply rail, skipping probe\n", name)
+	}
+
+	// -stream prints the TSV header up front and each row as the
+	// integrator records it — the CLI face of the serving layer's
+	// incremental waveform streaming. The buffered re-print at the end is
+	// skipped; everything else (stats, exit codes) is unchanged.
+	writeHeader := func() {
+		fmt.Printf("time")
+		for _, name := range kept {
+			fmt.Printf("\tv(%s)", name)
 		}
-		if fixed {
-			fmt.Fprintf(os.Stderr, "matex: %s is a supply rail, skipping probe\n", name)
-			continue
+		fmt.Println()
+	}
+	// row may be nil/empty when every probe was skipped (all supply
+	// rails): the table then has a time column only, as before.
+	writeRow := func(t float64, row []float64) {
+		fmt.Printf("%.6e", t)
+		for k := range kept {
+			if k < len(row) {
+				fmt.Printf("\t%.9e", row[k])
+			}
 		}
-		probes = append(probes, idx)
-		kept = append(kept, name)
+		fmt.Println()
 	}
 
 	var res *transient.Result
 	var rep *dist.Report
 	if *distributed || *workers != "" {
+		if *stream {
+			fatal(fmt.Errorf("-stream applies to single-process runs only (the distributed superposition exists only after all groups land)"))
+		}
 		// The fixed-step methods need a step here just like the plain path
 		// below; without this guard dist.Config would read the zero-value
 		// TRFixed-without-Step as "unset" and silently run R-MATEX.
@@ -152,27 +155,30 @@ func main() {
 		}
 		res, rep, err = dist.Run(sys, cfg)
 	} else {
-		res, err = transient.Simulate(sys, m, transient.Options{
+		opts := transient.Options{
 			Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
 			Ordering: ord, Cache: cache, Krylov: km, SolveWorkers: *solvePar,
-		})
+		}
+		if *stream {
+			writeHeader()
+			opts.OnSample = writeRow
+		}
+		res, err = transient.Simulate(sys, m, opts)
 	}
 	if err != nil {
 		fatal(err)
 	}
 
-	// TSV output.
-	fmt.Printf("time")
-	for _, name := range kept {
-		fmt.Printf("\tv(%s)", name)
-	}
-	fmt.Println()
-	for i, t := range res.Times {
-		fmt.Printf("%.6e", t)
-		for k := range kept {
-			fmt.Printf("\t%.9e", res.Probes[i][k])
+	// TSV output (already emitted live under -stream).
+	if !*stream {
+		writeHeader()
+		for i, t := range res.Times {
+			var row []float64
+			if i < len(res.Probes) {
+				row = res.Probes[i]
+			}
+			writeRow(t, row)
 		}
-		fmt.Println()
 	}
 
 	if *stats {

@@ -1,8 +1,13 @@
 // Command matexd is a MATEX worker daemon: it listens on TCP for subtasks
-// from a scheduler (cmd/matex -workers or dist.NewRPCPool), holds the
-// circuits it has been sent, and runs each subtask with the requested
-// circuit solver. Workers share nothing and only write results back — the
-// paper's Fig. 4 node.
+// from a scheduler (cmd/matex -workers, dist.NewRPCPool, or a matexsrv
+// instance with -dist-workers), holds the circuits it has been sent, and
+// runs each subtask with the requested circuit solver. Workers share
+// nothing and only write results back — the paper's Fig. 4 node.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight RPCs
+// finish and answer over their still-open connections (bounded by -grace),
+// new calls are refused with a draining error the scheduler retries on
+// other workers, and the process exits 0.
 //
 // Usage:
 //
@@ -10,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 
 	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/serve"
 	"github.com/matex-sim/matex/internal/sparse"
 )
 
@@ -23,6 +30,7 @@ func main() {
 	listen := flag.String("listen", ":9090", "TCP address to listen on")
 	cacheMB := flag.Int("cache-mb", 0, "factorization cache budget in MiB; <=0 selects the 512 MiB default (the worker cache is always on — it replaces per-subtask refactorization)")
 	solvePar := flag.Int("solve-par", 0, "default goroutines for level-scheduled parallel triangular solves when a request does not set its own (0/1 = sequential)")
+	grace := flag.Duration("grace", dist.DefaultDrainGrace, "drain budget for in-flight RPCs after SIGINT/SIGTERM")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *listen)
@@ -32,7 +40,15 @@ func main() {
 	fmt.Printf("matexd: listening on %s\n", l.Addr())
 	ws := dist.NewWorkerServerWithCache(sparse.NewCache(int64(*cacheMB) << 20))
 	ws.SetSolveWorkers(*solvePar)
-	if err := dist.Serve(l, ws); err != nil {
+
+	// The same signal-driven shutdown path as cmd/matexsrv: first signal
+	// starts the drain, a second one kills the process the default way.
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+	if err := dist.ServeContext(ctx, l, ws, *grace); err != nil {
 		log.Fatalf("matexd: %v", err)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("matexd: drained, exiting")
 	}
 }

@@ -1,3 +1,3 @@
 module github.com/matex-sim/matex
 
-go 1.21
+go 1.22

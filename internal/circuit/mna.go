@@ -350,6 +350,28 @@ func (s *System) NodeIndex(name string) (idx int, fixed float64, isFixed bool, e
 	return 0, 0, false, fmt.Errorf("circuit: unknown node %q", name)
 }
 
+// ResolveProbes maps probe node names onto unknown indices, dropping
+// nodes collapsed onto supply rails (they carry no waveform). It returns
+// the indices, the names actually kept (aligned with the indices), and
+// the names skipped — the shared front half of cmd/matex's probe setup
+// and the serve job builder, so the two stay consistent. An unknown name
+// is an error.
+func (s *System) ResolveProbes(names []string) (idx []int, kept, skipped []string, err error) {
+	for _, name := range names {
+		i, _, fixed, err := s.NodeIndex(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if fixed {
+			skipped = append(skipped, name)
+			continue
+		}
+		idx = append(idx, i)
+		kept = append(kept, name)
+	}
+	return idx, kept, skipped, nil
+}
+
 // NodeNames returns the free node names indexed by unknown number.
 func (s *System) NodeNames() []string {
 	names := make([]string, s.NumNodes)

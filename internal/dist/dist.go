@@ -22,6 +22,7 @@
 package dist
 
 import (
+	"context"
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
@@ -117,11 +118,21 @@ type Config struct {
 	// parallelism mainly pays on remote workers with idle cores or when
 	// Groups < cores.
 	SolveWorkers int
+	// Ctx, when non-nil, cancels the run: the scheduler stops dispatching
+	// subtasks once it fires, in-process subtasks abort at their next
+	// step/segment boundary (transient.Options.Ctx), and RPC dispatches
+	// return without waiting for their in-flight reply. The serving layer
+	// uses it for per-job cancellation and deadlines. The context itself
+	// never travels over the wire.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
 	if c.Method == transient.TRFixed && c.Step <= 0 {
 		c.Method = transient.RMATEX
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 	if c.Tol <= 0 {
 		c.Tol = 1e-6
@@ -205,8 +216,9 @@ func zeroStateSystem(sys *circuit.System) *circuit.System {
 // resources: on the scheduler they are shared by every in-process subtask,
 // on a matexd worker they are the worker's own (neither travels over RPC,
 // like the paper's cluster machines) — so repeated subtasks reuse both the
-// factorizations and the Krylov arenas of their predecessors.
-func subtaskOptions(sub *circuit.System, task Task, req Request, cache *sparse.Cache, workspaces *krylov.WorkspacePool) transient.Options {
+// factorizations and the Krylov arenas of their predecessors. ctx (nil ok)
+// cancels the subtask mid-integration; it is per-process too.
+func subtaskOptions(ctx context.Context, sub *circuit.System, task Task, req Request, cache *sparse.Cache, workspaces *krylov.WorkspacePool) transient.Options {
 	active := make([]bool, len(sub.Inputs))
 	for _, k := range task.InputIdx {
 		active[k] = true
@@ -227,5 +239,6 @@ func subtaskOptions(sub *circuit.System, task Task, req Request, cache *sparse.C
 		Krylov:       req.Krylov,
 		Workspaces:   workspaces,
 		SolveWorkers: req.SolveWorkers,
+		Ctx:          ctx,
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -45,9 +46,11 @@ type TaskResult struct {
 
 // Pool runs subtasks somewhere: in-process goroutines (the default) or
 // matexd workers over TCP (NewRPCPool). Solve must be safe for concurrent
-// use; the scheduler issues up to Config.Workers calls at once.
+// use; the scheduler issues up to Config.Workers calls at once. ctx cancels
+// the subtask: in-process pools abort the integration, the RPC pool stops
+// waiting for the reply (the remote worker finishes on its own).
 type Pool interface {
-	Solve(task Task, req Request) (*TaskResult, error)
+	Solve(ctx context.Context, task Task, req Request) (*TaskResult, error)
 	// Close releases pool resources (network connections). The in-process
 	// pool has none.
 	Close() error
@@ -74,9 +77,9 @@ func newLocalPool(sys *circuit.System, cache *sparse.Cache) *localPool {
 }
 
 // Solve implements Pool.
-func (p *localPool) Solve(task Task, req Request) (*TaskResult, error) {
+func (p *localPool) Solve(ctx context.Context, task Task, req Request) (*TaskResult, error) {
 	start := time.Now()
-	opts := subtaskOptions(p.sub, task, req, p.cache, p.workspaces)
+	opts := subtaskOptions(ctx, p.sub, task, req, p.cache, p.workspaces)
 	res, err := transient.Simulate(p.sub, req.Method, opts)
 	if err != nil {
 		return nil, fmt.Errorf("dist: group %d: %w", task.GroupID, err)
@@ -98,17 +101,27 @@ type dispatcher struct {
 	firstErr error
 }
 
-func (d *dispatcher) run(tasks []Task, req Request) ([]*TaskResult, error) {
+func (d *dispatcher) run(ctx context.Context, tasks []Task, req Request) ([]*TaskResult, error) {
 	d.results = make([]*TaskResult, len(tasks))
 	sem := make(chan struct{}, d.workers)
 	var wg sync.WaitGroup
 	for i, task := range tasks {
+		// Stop dispatching once the run is canceled; in-flight subtasks see
+		// the same context and abort on their own.
+		if err := ctx.Err(); err != nil {
+			d.mu.Lock()
+			if d.firstErr == nil {
+				d.firstErr = fmt.Errorf("dist: run canceled: %w", err)
+			}
+			d.mu.Unlock()
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, task Task) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			tr, err := d.pool.Solve(task, req)
+			tr, err := d.pool.Solve(ctx, task, req)
 			d.mu.Lock()
 			defer d.mu.Unlock()
 			if err != nil {

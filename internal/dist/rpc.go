@@ -1,11 +1,13 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,7 +81,7 @@ func dialAndRegister(addr string, id uint64, blob []byte) (*rpc.Client, error) {
 }
 
 // Solve implements Pool.
-func (p *rpcPool) Solve(task Task, req Request) (*TaskResult, error) {
+func (p *rpcPool) Solve(ctx context.Context, task Task, req Request) (*TaskResult, error) {
 	args := &SolveArgs{SystemID: p.id, Task: task, Req: req}
 	retried := 0
 	var lastErr error
@@ -87,15 +89,37 @@ func (p *rpcPool) Solve(task Task, req Request) (*TaskResult, error) {
 	// dispatch and one more after a successful mid-task revival (a restarted
 	// matexd), so a flapping worker cannot trap the task in a retry loop.
 	for attempt := 0; attempt < 2*p.size(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dist: group %d canceled: %w", task.GroupID, err)
+		}
 		w, client := p.pick()
 		if w == nil {
 			break
 		}
 		start := time.Now()
 		var reply SolveReply
-		err := client.Call(rpcService+".Solve", args, &reply)
+		call := client.Go(rpcService+".Solve", args, &reply, make(chan *rpc.Call, 1))
+		var err error
+		select {
+		case <-ctx.Done():
+			// The reply (if any) is abandoned; the worker finishes the
+			// subtask on its own and keeps its cache warm for the next run.
+			return nil, fmt.Errorf("dist: group %d canceled: %w", task.GroupID, ctx.Err())
+		case done := <-call.Done:
+			err = done.Error
+		}
 		if err == nil {
 			return &TaskResult{Result: reply.Result, Elapsed: time.Since(start), Retried: retried}, nil
+		}
+		if isDrainingError(err) {
+			// The worker is shutting down but its connection is healthy
+			// and may still carry replies for our other in-flight
+			// subtasks: retire it from the rotation WITHOUT closing the
+			// shared client, and retry this task elsewhere.
+			lastErr = err
+			p.retire(w)
+			retried++
+			continue
 		}
 		if !isTransportError(err) {
 			// The worker answered: a genuine solver failure, identical on
@@ -110,6 +134,16 @@ func (p *rpcPool) Solve(task Task, req Request) (*TaskResult, error) {
 		lastErr = errors.New("no live workers")
 	}
 	return nil, fmt.Errorf("dist: group %d failed on all workers: %w", task.GroupID, lastErr)
+}
+
+// retire takes a draining worker out of the round-robin rotation without
+// touching its connection: in-flight replies to other goroutines still
+// travel over it, and the draining matexd severs it itself once idle. The
+// client is eventually released by pool Close.
+func (p *rpcPool) retire(w *rpcWorker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.dead = true
 }
 
 // size returns the worker count (live or dead) — the retry attempt basis.
@@ -154,20 +188,30 @@ func (p *rpcPool) reviveOrBury(w *rpcWorker, failed *rpc.Client) {
 	w.client = client
 }
 
-// Close implements Pool.
+// Close implements Pool. Every client is closed, including retired and
+// buried workers' (reviveOrBury already closed the latter's connection —
+// the second Close reports ErrShutdown, which is not an error here).
 func (p *rpcPool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var first error
 	for _, w := range p.workers {
-		if w.client == nil || w.dead {
+		if w.client == nil {
 			continue
 		}
-		if err := w.client.Close(); err != nil && first == nil {
+		if err := w.client.Close(); err != nil && !errors.Is(err, rpc.ErrShutdown) && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// isDrainingError matches the answer of a gracefully-stopping worker (see
+// WorkerServer drain support): the subtask is retried on another worker,
+// and the redial attempt against the draining worker's closed listener
+// buries it for the rest of the run.
+func isDrainingError(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "worker is draining")
 }
 
 // isTransportError distinguishes a broken connection (retryable on another

@@ -93,7 +93,7 @@ func Run(sys *circuit.System, cfg Config) (*transient.Result, *Report, error) {
 	var results []*TaskResult
 	if len(sched) > 0 {
 		d := &dispatcher{pool: pool, workers: workers}
-		results, err = d.run(sched, req)
+		results, err = d.run(cfg.Ctx, sched, req)
 		if err != nil {
 			return nil, nil, err
 		}

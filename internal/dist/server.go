@@ -2,11 +2,14 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/krylov"
@@ -116,7 +119,93 @@ type WorkerServer struct {
 	// solveWorkers is the worker-local per-solve goroutine default applied
 	// when a request leaves SolveWorkers unset (matexd -solve-par).
 	solveWorkers int
+	// calls tracks in-flight RPC handlers so a draining worker (SIGTERM on
+	// matexd, ServeContext cancellation) finishes what it started before
+	// its connections are severed.
+	calls drainGroup
 }
+
+// drainGroup counts in-flight calls and supports a one-way transition to a
+// draining state in which new calls are rejected and a waiter can block
+// until the in-flight ones finish. sync.WaitGroup alone cannot express this
+// (Add after Wait races); the mutex+cond pair makes enter-vs-drain atomic.
+type drainGroup struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	draining bool
+}
+
+// enter registers a call; it reports false once draining has begun, and the
+// caller must then reject the call without doing work.
+func (g *drainGroup) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.inflight++
+	return true
+}
+
+// exit unregisters a call previously admitted by enter.
+func (g *drainGroup) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 {
+		if g.cond != nil {
+			g.cond.Broadcast()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// drain flips to the draining state and waits until the in-flight calls
+// finish or the grace period expires; it reports whether the group
+// emptied. The deadline is enforced by periodic broadcasts rather than a
+// single timer shot, so a wakeup can never be permanently lost (a one-shot
+// fired before the waiter parks would otherwise leave drain blocked on a
+// stuck call forever).
+func (g *drainGroup) drain(grace time.Duration) bool {
+	g.mu.Lock()
+	g.draining = true
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	g.mu.Unlock()
+
+	deadline := time.Now().Add(grace)
+	interval := grace / 10
+	interval = min(max(interval, time.Millisecond), 100*time.Millisecond)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				g.mu.Lock()
+				g.cond.Broadcast()
+				g.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.inflight > 0 && time.Now().Before(deadline) {
+		g.cond.Wait()
+	}
+	return g.inflight == 0
+}
+
+// errDraining is what a worker answers once it has begun shutting down;
+// the scheduler's retry loop recognizes it (isDrainingError) and routes
+// the subtask to another worker instead of failing the run.
+var errDraining = errors.New("dist: worker is draining (shutting down)")
 
 // SetSolveWorkers sets the worker-local default per-solve goroutine budget
 // for requests that do not specify one. Call before Serve.
@@ -149,6 +238,10 @@ func (w *WorkerServer) CacheStats() sparse.CacheStats { return w.cache.Stats() }
 // probes: Known reports whether the ID is already held (so a reconnecting
 // scheduler can skip re-sending a large circuit).
 func (w *WorkerServer) Register(args *RegisterArgs, reply *RegisterReply) error {
+	if !w.calls.enter() {
+		return errDraining
+	}
+	defer w.calls.exit()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, ok := w.systems[args.ID]; ok {
@@ -177,6 +270,10 @@ func (w *WorkerServer) Register(args *RegisterArgs, reply *RegisterReply) error 
 
 // Solve runs one zero-state subtask against a registered circuit.
 func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
+	if !w.calls.enter() {
+		return errDraining
+	}
+	defer w.calls.exit()
 	w.mu.Lock()
 	ws, ok := w.systems[args.SystemID]
 	w.mu.Unlock()
@@ -187,7 +284,7 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	if req.SolveWorkers == 0 {
 		req.SolveWorkers = w.solveWorkers
 	}
-	opts := subtaskOptions(ws.sys, args.Task, req, w.cache, w.workspaces)
+	opts := subtaskOptions(nil, ws.sys, args.Task, req, w.cache, w.workspaces)
 	res, err := transient.Simulate(ws.sys, req.Method, opts)
 	if err != nil {
 		return fmt.Errorf("dist: group %d: %w", args.Task.GroupID, err)
@@ -197,19 +294,81 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	return nil
 }
 
+// DefaultDrainGrace bounds how long a canceled ServeContext waits for
+// in-flight RPCs before severing their connections anyway.
+const DefaultDrainGrace = 30 * time.Second
+
 // Serve accepts connections on l and serves the worker service until the
 // listener fails (e.g. is closed). Each connection is served concurrently;
 // net/rpc additionally runs each call in its own goroutine.
 func Serve(l net.Listener, ws *WorkerServer) error {
+	return ServeContext(context.Background(), l, ws)
+}
+
+// ServeContext is Serve with a graceful drain: when ctx fires, the listener
+// is closed (no new connections), new RPCs on existing connections are
+// answered with a draining error, in-flight RPCs get up to grace to finish,
+// and only then are the connections severed. An omitted grace selects
+// DefaultDrainGrace; an explicit zero (or negative) grace severs
+// immediately ("matexd -grace 0"). It returns nil after a drain triggered
+// by ctx, and the listener's error when accepting fails on its own — the
+// same contract as Serve. cmd/matexd and the matexsrv test harness both
+// shut down through this path.
+func ServeContext(ctx context.Context, l net.Listener, ws *WorkerServer, grace ...time.Duration) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(rpcService, ws); err != nil {
 		return err
 	}
+	g := DefaultDrainGrace
+	if len(grace) > 0 {
+		g = max(grace[0], 0)
+	}
+
+	// Unblock Accept when the context fires.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+		case <-stop:
+		}
+	}()
+
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+		wg    sync.WaitGroup
+	)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				break // graceful: drain below
+			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			srv.ServeConn(conn)
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+		}(conn)
 	}
+
+	// Finish in-flight RPCs (replies travel back over the still-open
+	// connections), then sever the connections so ServeConn returns.
+	ws.calls.drain(g)
+	mu.Lock()
+	for conn := range conns {
+		conn.Close()
+	}
+	mu.Unlock()
+	wg.Wait()
+	return nil
 }

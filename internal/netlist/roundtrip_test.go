@@ -1,0 +1,223 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/waveform"
+)
+
+// buildRoundTripDeck assembles a deck exercising every card the writer
+// emits: all element kinds, every source shape, awkward float values
+// (needing all 17 significant digits, huge/tiny magnitudes), .tran and
+// .print cards.
+func buildRoundTripDeck(t *testing.T) *Deck {
+	t.Helper()
+	c := circuit.New("round trip torture deck")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Values chosen to break lossy formatting: 1/3 needs 17 digits,
+	// 0.1 is inexact in binary, the rest span the SI range.
+	must(c.AddR("R1", "n1", "n2", 1.0/3.0))
+	must(c.AddR("R2", "n2", "0", 1e6))
+	must(c.AddR("Rsmall", "n1", "0", 25.4e-6))
+	must(c.AddC("C1", "n1", "0", 0.1e-12))
+	must(c.AddC("C2", "n2", "0", 2.2e-15))
+	must(c.AddL("L1", "n2", "n3", 1e-9))
+	c.AddV("V1", "vdd", "0", waveform.DC(1.8))
+	c.AddV("Vexp", "n3", "0", &waveform.Exp{V1: 0, V2: 1.5, TD1: 1e-9, Tau1: 2e-10, TD2: 3e-9, Tau2: 4e-10})
+	c.AddI("I1", "n1", "0", &waveform.Pulse{
+		V1: 0, V2: 0.017 + 1.0/7.0, Delay: 1.1e-9, Rise: 0.123e-9,
+		Fall: 0.456e-9, Width: 2.5e-9, Period: 7.77e-9,
+	})
+	pwl, err := waveform.NewPWL(
+		[]float64{0, 1e-10, 1.0 / 3.0 * 1e-9, 5e-9},
+		[]float64{0, 1e-3, 2.0 / 30000.0, 0})
+	must(err)
+	c.AddI("Ipwl", "n2", "0", pwl)
+	c.AddI("Isin", "n3", "0", &waveform.Sin{VO: 0.5, VA: 0.25, Freq: 1e9, Delay: 2e-10, Theta: 1e7})
+	return &Deck{
+		Circuit:  c,
+		TranStep: 1e-11,
+		TranStop: 10.000000000000002e-9, // not representable at 12 digits
+		Prints:   []string{"n1", "n2", "CasePreserved"},
+	}
+}
+
+// TestWriteParseRoundTrip: Write → Parse must reproduce the same Deck —
+// elements, PULSE/PWL/SIN/EXP/DC parameters, .tran window and .print
+// cards — bit for bit.
+func TestWriteParseRoundTrip(t *testing.T) {
+	deck := buildRoundTripDeck(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, deck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parsing written deck: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, deck) {
+		t.Fatalf("round trip changed the deck:\nwritten:\n%s\ngot:  %#v\nwant: %#v", buf.String(), got, deck)
+	}
+
+	// A second Write of the re-parsed deck must be byte-identical (the
+	// writer is a fixed point under its own output).
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("writer not idempotent:\nfirst:\n%s\nsecond:\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestRoundTripRandomValues: shortest-representation formatting survives
+// Write→Parse for adversarial float64 values, including denormals and
+// values that need every significand bit.
+func TestRoundTripRandomValues(t *testing.T) {
+	// A deterministic xorshift so failures reproduce.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	c := circuit.New("random values")
+	var want []float64
+	for i := 0; i < 200; i++ {
+		v := math.Float64frombits(next())
+		v = math.Abs(v)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		// Keep magnitudes a resistor accepts (positive, finite).
+		for v > 1e30 {
+			v *= 1e-40
+		}
+		for v < 1e-30 {
+			v *= 1e40
+		}
+		if err := c.AddR("R"+strconv.Itoa(len(want)), "a", "b", v); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v)
+	}
+	deck := &Deck{Circuit: c}
+	var buf bytes.Buffer
+	if err := Write(&buf, deck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Circuit.Resistors) != len(want) {
+		t.Fatalf("parsed %d resistors, wrote %d", len(got.Circuit.Resistors), len(want))
+	}
+	for i, r := range got.Circuit.Resistors {
+		if r.R != want[i] {
+			t.Fatalf("resistor %d: wrote %v (%b), parsed %v (%b)", i, want[i], want[i], r.R, r.R)
+		}
+	}
+}
+
+// TestParseValueSISuffixes: the SI-suffix edge cases the writer's plain
+// scientific notation must coexist with — "meg" before "m", "mil", unit
+// letters after the suffix, exponent forms.
+func TestParseValueSISuffixes(t *testing.T) {
+	// Suffixed expectations are mantissa × multiplier with a runtime
+	// float64 multiply, matching the parser's arithmetic exactly (Go
+	// constant expressions are exact, the parser's product is not: 3 *
+	// 1e-15 at runtime is one ulp away from the literal 3e-15).
+	cases := []struct {
+		in         string
+		mant, mult float64
+	}{
+		{"10p", 10, 1e-12},
+		{"10ps", 10, 1e-12}, // trailing unit letter after suffix
+		{"1.5meg", 1.5, 1e6},
+		{"1.5MEG", 1.5, 1e6},
+		{"1.5m", 1.5, 1e-3}, // "m" is milli, not mega
+		{"25mil", 25, 25.4e-6},
+		{"2.2u", 2.2, 1e-6},
+		{"3f", 3, 1e-15},
+		{"4t", 4, 1e12},
+		{"5g", 5, 1e9},
+		{"6k", 6, 1e3},
+		{"7n", 7, 1e-9},
+		{"0.5", 0.5, 1},
+		{"1e-12", 1e-12, 1},
+		{"1E-12", 1e-12, 1},
+		{"1e+06", 1e6, 1}, // the writer's exponent spelling
+		{"-2.5e-3", -2.5e-3, 1},
+		{"3.3v", 3.3, 1}, // unit letter, no suffix
+		{"100a", 100, 1}, // ampere unit letter
+		{"1.25e2k", 1.25e2, 1e3},
+	}
+	for _, tc := range cases {
+		got, err := ParseValue(tc.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", tc.in, err)
+			continue
+		}
+		want := tc.mant
+		if tc.mult != 1 {
+			want = tc.mant * tc.mult
+		}
+		if got != want {
+			t.Errorf("ParseValue(%q) = %g, want %g", tc.in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "--3", "1..2", "e9"} {
+		if v, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) = %g, want error", bad, v)
+		}
+	}
+}
+
+// TestRoundTripThroughSuffixedDeck: a deck written with SI suffixes by
+// hand parses to the same values the writer then re-emits losslessly.
+func TestRoundTripThroughSuffixedDeck(t *testing.T) {
+	in := `* suffixed deck
+R1 a b 1.5k
+C1 a 0 2.2u
+L1 b 0 10n
+I1 a 0 PULSE(0 1m 1n 100p 100p 2n 8n)
+.tran 10p 8n
+.print tran v(a)
+.end
+`
+	d1, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d1); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	// Titles differ ("suffixed deck" is preserved) — compare the rest.
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("suffixed round trip changed the deck:\n%s\nd1: %#v\nd2: %#v", buf.String(), d1, d2)
+	}
+	if d2.Circuit.Resistors[0].R != 1500 {
+		t.Fatalf("R = %g, want 1500", d2.Circuit.Resistors[0].R)
+	}
+	if d2.TranStop != 8e-9 {
+		t.Fatalf("TranStop = %g, want 8e-9", d2.TranStop)
+	}
+}

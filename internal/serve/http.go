@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/matex-sim/matex/internal/sparse"
+)
+
+// maxBodyBytes bounds a submission body; the big IBM decks are tens of
+// megabytes, so the limit is generous without being unbounded.
+const maxBodyBytes = 256 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	GET    /healthz              liveness
+//	GET    /stats                queue, cache and solver-work counters
+//	POST   /v1/jobs              submit a JobSpec, returns the job Status
+//	GET    /v1/jobs              list job statuses
+//	GET    /v1/jobs/{id}         one job's Status
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/jobs/{id}/stream  waveform stream (NDJSON; ?sse=1 for SSE)
+//	POST   /v1/simulate          submit and stream in one request
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorReply{Error: err.Error()})
+}
+
+// submitCode maps a Submit error to its HTTP status.
+func submitCode(err error) int {
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("decoding job spec: %w", err))
+		return spec, false
+	}
+	return spec, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"uptime_sec": time.Since(s.start).Seconds(),
+	})
+}
+
+// StatsReply is the /stats payload.
+type StatsReply struct {
+	UptimeSec  float64 `json:"uptime_sec"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	InFlight   int     `json:"in_flight"`
+	Accepted   uint64  `json:"jobs_accepted"`
+	Completed  uint64  `json:"jobs_completed"`
+	Failed     uint64  `json:"jobs_failed"`
+	Canceled   uint64  `json:"jobs_canceled"`
+	// Totals folds the solver work counters of completed jobs; CacheHits
+	// counts factorization acquisitions served from the shared cache, so
+	// any value above the cold-start misses demonstrates cross-job reuse.
+	Totals totals `json:"totals"`
+	// Cache is the shared factorization cache's own view (includes the
+	// symbolic pattern tier).
+	Cache sparse.CacheStats `json:"cache"`
+}
+
+func (s *Server) statsReply() StatsReply {
+	s.mu.Lock()
+	rep := StatsReply{
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		InFlight:   s.inFlight,
+		Accepted:   s.accepted,
+		Completed:  s.completed,
+		Failed:     s.failed,
+		Canceled:   s.canceled,
+		Totals:     s.agg,
+	}
+	s.mu.Unlock()
+	rep.Cache = s.cache.Stats()
+	return rep
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsReply())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		s.streamJob(w, r, job)
+	}
+}
+
+// handleSimulate is submit-and-stream in one request: the response starts
+// with the stream header as soon as the job is queued and follows the
+// waveform live — the curl-friendly entry point.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	spec, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	s.streamJob(w, r, job)
+}
+
+// streamHeader is the first chunk of every stream: the job identity and
+// the probe order of the sample rows.
+type streamHeader struct {
+	ID     string   `json:"id"`
+	Probes []string `json:"probes"`
+}
+
+// streamTail is the last chunk: terminal state, error if any, and the
+// solver work stats for done jobs.
+type streamTail struct {
+	Done    bool     `json:"done"`
+	State   JobState `json:"state"`
+	Samples int      `json:"samples"`
+	Error   string   `json:"error,omitempty"`
+	Stats   any      `json:"stats,omitempty"`
+}
+
+// streamJob replays the job's samples from the start and follows them
+// live, one JSON object per chunk: NDJSON by default, SSE `data:` events
+// with ?sse=1 (or an Accept: text/event-stream header). Each chunk is
+// flushed as written, so a slow consumer sees the waveform grow while the
+// integrator is still inside the run.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
+	sse := r.URL.Query().Get("sse") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+
+	emit := func(v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	st := job.Status()
+	if !emit(streamHeader{ID: job.ID, Probes: st.Probes}) {
+		return
+	}
+	i := 0
+	for {
+		batch, state, ch := job.snapshotFrom(i)
+		for _, smp := range batch {
+			if !emit(smp) {
+				return
+			}
+		}
+		i += len(batch)
+		if state.Terminal() {
+			break
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	final := job.Status()
+	tail := streamTail{Done: true, State: final.State, Samples: i, Error: final.Error}
+	if final.Stats != nil {
+		tail.Stats = final.Stats
+	}
+	emit(tail)
+}

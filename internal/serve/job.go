@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/krylov"
+	"github.com/matex-sim/matex/internal/netlist"
+	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/transient"
+)
+
+// JobSpec is the JSON body of a job submission: the input deck (inline
+// SPICE text or a named pgbench case) plus the solver configuration, all
+// optional except the deck. The field spellings match the matex CLI flags.
+type JobSpec struct {
+	// Netlist is an inline SPICE-subset deck (the IBM power grid format).
+	// Exactly one of Netlist and Case must be set.
+	Netlist string `json:"netlist,omitempty"`
+	// Case names a synthetic pgbench benchmark ("ibmpg1t" … "ibmpg6t");
+	// Scale multiplies the grid edge (0 = 1.0) and NumProbes spreads that
+	// many probes across the grid diagonal (0 = 4), exactly like
+	// `pgbench -case X -scale S -probes P | matex`.
+	Case      string  `json:"case,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+	NumProbes int     `json:"num_probes,omitempty"`
+
+	// Method selects the integrator ("tr", "be", "fe", "tradpt", "mexp",
+	// "imatex", "rmatex"; empty = rmatex).
+	Method string `json:"method,omitempty"`
+	// Tstop/Step in seconds; 0 defers to the deck's .tran card.
+	Tstop float64 `json:"tstop,omitempty"`
+	Step  float64 `json:"step,omitempty"`
+	// Tol, Gamma, MaxDim as in transient.Options (0 = defaults).
+	Tol    float64 `json:"tol,omitempty"`
+	Gamma  float64 `json:"gamma,omitempty"`
+	MaxDim int     `json:"max_dim,omitempty"`
+	// Krylov: "auto", "arnoldi", "lanczos" (empty = auto).
+	Krylov string `json:"krylov,omitempty"`
+	// Ordering: "default", "natural", "rcm", "mindeg" (empty = default).
+	Ordering string `json:"ordering,omitempty"`
+	// SolveWorkers > 1 enables level-scheduled parallel triangular solves.
+	SolveWorkers int `json:"solve_workers,omitempty"`
+	// Distributed runs the job through the dist scheduler (bump-feature
+	// decomposition): over the server's matexd workers when configured,
+	// else over the in-process pool. Distributed jobs stream their
+	// superposed waveform once the subtasks land rather than per-step.
+	Distributed bool `json:"distributed,omitempty"`
+	// TimeoutSec, when positive, is the per-job deadline; an expired job
+	// is reported canceled.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// builtJob is a validated, stamped job ready to run.
+type builtJob struct {
+	sys    *circuit.System
+	method transient.Method
+	krylov krylov.Method
+	order  sparse.Ordering
+	probes []int
+	names  []string
+	tstop  float64
+	step   float64
+}
+
+// build validates the spec and stamps the MNA system. All submission-time
+// errors (bad deck, unknown method, missing window) surface here so the
+// HTTP layer can answer 400 before the job is queued.
+func (spec *JobSpec) build() (*builtJob, error) {
+	if (spec.Netlist == "") == (spec.Case == "") {
+		return nil, errors.New("exactly one of netlist and case must be set")
+	}
+	b := &builtJob{tstop: spec.Tstop, step: spec.Step}
+
+	var err error
+	if b.method, err = transient.ParseMethod(spec.Method); err != nil {
+		return nil, err
+	}
+	if b.krylov, err = krylov.ParseMethod(strings.ToLower(strings.TrimSpace(spec.Krylov))); err != nil {
+		return nil, err
+	}
+	if b.order, err = sparse.ParseOrdering(spec.Ordering); err != nil {
+		return nil, err
+	}
+
+	var probeNames []string
+	if spec.Netlist != "" {
+		deck, err := netlist.Parse(strings.NewReader(spec.Netlist))
+		if err != nil {
+			return nil, err
+		}
+		if b.sys, err = deck.Build(); err != nil {
+			return nil, err
+		}
+		if b.tstop == 0 {
+			b.tstop = deck.TranStop
+		}
+		if b.step == 0 {
+			b.step = deck.TranStep
+		}
+		probeNames = deck.Prints
+	} else {
+		gspec, err := pdn.IBMCase(spec.Case, scaleOrOne(spec.Scale))
+		if err != nil {
+			return nil, err
+		}
+		ckt, err := gspec.Build()
+		if err != nil {
+			return nil, err
+		}
+		if b.sys, err = circuit.Stamp(ckt, circuit.StampOptions{CollapseSupplies: true}); err != nil {
+			return nil, err
+		}
+		if b.tstop == 0 {
+			b.tstop = gspec.Tstop
+		}
+		np := spec.NumProbes
+		if np <= 0 {
+			np = 4
+		}
+		for i := 0; i < np; i++ {
+			x := (i + 1) * gspec.NX / (np + 1)
+			y := (i + 1) * gspec.NY / (np + 1)
+			probeNames = append(probeNames, pdn.NodeName(x, y))
+		}
+	}
+	if b.tstop <= 0 {
+		return nil, errors.New("no simulation window: set tstop or add a .tran card")
+	}
+	if (b.method == transient.TRFixed || b.method == transient.BEFixed || b.method == transient.FEFixed) && b.step <= 0 {
+		return nil, fmt.Errorf("fixed-step method %q needs step or a .tran step in the deck", spec.Method)
+	}
+
+	// Probes: the deck's .print cards (or the diagonal spread), else the
+	// first free node — the same fallback as cmd/matex, through the same
+	// shared resolver (supply rails are silently dropped here; the CLI
+	// warns on stderr instead).
+	if len(probeNames) == 0 {
+		if names := b.sys.NodeNames(); len(names) > 0 {
+			probeNames = names[:1]
+		}
+	}
+	if b.probes, b.names, _, err = b.sys.ResolveProbes(probeNames); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func scaleOrOne(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// JobState is the lifecycle phase of a job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker slot.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is integrating it.
+	JobRunning JobState = "running"
+	// JobDone: finished; the full waveform and stats are available.
+	JobDone JobState = "done"
+	// JobFailed: the solver returned an error.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by the client, the per-job deadline, or
+	// server shutdown before completion.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Sample is one streamed waveform chunk: the time point and the probed
+// node voltages, in the probe order announced by the stream header.
+type Sample struct {
+	T float64   `json:"t"`
+	V []float64 `json:"v,omitempty"`
+}
+
+// Job is one queued or running simulation. Samples accumulate as the
+// integrator advances; any number of stream subscribers replay them from
+// the start and then follow live.
+type Job struct {
+	// ID is the server-assigned job identifier.
+	ID string
+	// Spec is the submitted request.
+	Spec JobSpec
+
+	built     *builtJob
+	submitted time.Time
+
+	mu       sync.Mutex
+	notify   chan struct{} // closed and replaced on every append/state change
+	state    JobState
+	samples  []Sample
+	err      error
+	stats    *transient.Stats
+	report   *dist.Report
+	cancel   context.CancelFunc
+	started  time.Time
+	finished time.Time
+}
+
+func newJob(id string, spec JobSpec, built *builtJob) *Job {
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		built:     built,
+		submitted: time.Now(),
+		notify:    make(chan struct{}),
+		state:     JobQueued,
+	}
+}
+
+// broadcast wakes every waiting subscriber. Callers hold j.mu.
+func (j *Job) broadcast() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// appendSample records one streamed chunk (the transient.Options.OnSample
+// hook; also used to replay a distributed run's superposed waveform).
+func (j *Job) appendSample(t float64, v []float64) {
+	j.mu.Lock()
+	j.samples = append(j.samples, Sample{T: t, V: append([]float64(nil), v...)})
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// markRunning transitions queued → running; it reports false when the job
+// was canceled while waiting in the queue.
+func (j *Job) markRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.cancel = cancel
+	j.started = time.Now()
+	j.broadcast()
+	return true
+}
+
+// finish records the outcome. A run aborted by its context reports
+// canceled; everything else is done or failed.
+func (j *Job) finish(res *transient.Result, rep *dist.Report, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.report = rep
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.stats = &res.Stats
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCanceled
+		j.err = err
+	default:
+		j.state = JobFailed
+		j.err = err
+	}
+	j.cancel = nil
+	j.releaseInputsLocked()
+	j.broadcast()
+}
+
+// releaseInputsLocked drops the stamped MNA system and the inline deck
+// text once the job can no longer run: retained finished jobs then hold
+// only their samples, probe names and stats, so the MaxRetainedJobs
+// window costs waveform memory, not stamped-system memory (a large IBM
+// deck is tens of MB of text plus a comparable sparse system). Callers
+// hold j.mu.
+func (j *Job) releaseInputsLocked() {
+	j.built.sys = nil
+	j.Spec.Netlist = ""
+}
+
+// Cancel stops the job: a queued job is canceled in place (workers skip
+// it), a running one has its context canceled and reports canceled when
+// the integrator unwinds. Terminal jobs are left alone.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.releaseInputsLocked()
+		j.broadcast()
+	case JobRunning:
+		if j.cancel != nil {
+			j.cancel() // finish() runs on the worker goroutine
+		}
+	}
+}
+
+// snapshotFrom returns the samples from index i on, the current state, and
+// the channel that closes on the next change — the subscriber loop:
+// drain the batch, and if the state is not terminal, wait on ch.
+func (j *Job) snapshotFrom(i int) (batch []Sample, state JobState, ch <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.samples) {
+		batch = j.samples[i:len(j.samples):len(j.samples)]
+	}
+	return batch, j.state, j.notify
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status is the JSON shape of a job's current state.
+type Status struct {
+	ID      string   `json:"id"`
+	State   JobState `json:"state"`
+	Probes  []string `json:"probes,omitempty"`
+	Samples int      `json:"samples"`
+	Error   string   `json:"error,omitempty"`
+	// Queued/Started/Finished are Unix nanoseconds (0 = not yet).
+	Queued   int64 `json:"queued_ns,omitempty"`
+	Started  int64 `json:"started_ns,omitempty"`
+	Finished int64 `json:"finished_ns,omitempty"`
+	// Stats is the solver work report, present once the job is done.
+	Stats *transient.Stats `json:"stats,omitempty"`
+	// Groups/Retried surface the dist report for distributed jobs.
+	Groups  int `json:"groups,omitempty"`
+	Retried int `json:"retried,omitempty"`
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:      j.ID,
+		State:   j.state,
+		Probes:  j.built.names,
+		Samples: len(j.samples),
+		Queued:  j.submitted.UnixNano(),
+		Stats:   j.stats,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UnixNano()
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UnixNano()
+	}
+	if j.report != nil {
+		st.Groups = j.report.Groups
+		st.Retried = j.report.Retried
+	}
+	return st
+}

@@ -1,0 +1,491 @@
+// Package serve is the MATEX simulation job service: a long-running HTTP
+// front end that accepts netlist-deck jobs (inline SPICE text or a named
+// pgbench case), runs them through a bounded worker-pool queue with
+// per-job contexts, and streams waveform samples incrementally (NDJSON or
+// SSE) as the integrators advance — the serving layer the paper's
+// "distributed framework" framing asks for on top of the compute stack.
+//
+// Every job on one process shares the content-addressed factorization
+// cache and the Krylov workspace arenas, so concurrent and repeated jobs
+// against the same grid skip straight to the transient phase the way
+// repeated dist.Run calls do. Distributed jobs additionally fan out
+// through internal/dist (in-process pool or matexd workers over TCP).
+//
+// See cmd/matexsrv for the daemon and README.md ("Serving") for the API.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/krylov"
+	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/transient"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds concurrently running jobs; 0 = GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs; a full queue rejects
+	// submissions with ErrQueueFull. 0 = 64.
+	QueueDepth int
+	// CacheBytes is the shared factorization cache budget (0 = the
+	// sparse.NewCache default).
+	CacheBytes int64
+	// DistAddrs lists matexd workers distributed jobs fan out to; empty
+	// runs them on the in-process pool.
+	DistAddrs []string
+	// MaxRetainedJobs bounds how many finished jobs (and their retained
+	// sample waveforms) stay queryable/replayable after completion; once
+	// exceeded, the oldest terminal jobs are evicted. Queued and running
+	// jobs are never evicted. 0 = 256.
+	MaxRetainedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 256
+	}
+	return c
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrShuttingDown: the server no longer accepts jobs (503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrQueueFull: the job queue is at capacity (429).
+	ErrQueueFull = errors.New("serve: job queue full")
+)
+
+// totals aggregates solver work counters across finished jobs (the /stats
+// cross-job view; per-job Stats stay on the jobs).
+type totals struct {
+	Jobs           int `json:"jobs"`
+	Factorizations int `json:"factorizations"`
+	Refactors      int `json:"refactors"`
+	SymbolicHits   int `json:"symbolic_hits"`
+	CacheHits      int `json:"cache_hits"`
+	CacheMisses    int `json:"cache_misses"`
+	SolvePairs     int `json:"solve_pairs"`
+	SpMVs          int `json:"spmvs"`
+	Steps          int `json:"steps"`
+	KrylovSpots    int `json:"krylov_spots"`
+	LanczosSpots   int `json:"lanczos_spots"`
+}
+
+func (t *totals) add(s *transient.Stats) {
+	t.Jobs++
+	t.Factorizations += s.Factorizations
+	t.Refactors += s.Refactors
+	t.SymbolicHits += s.SymbolicHits
+	t.CacheHits += s.CacheHits
+	t.CacheMisses += s.CacheMisses
+	t.SolvePairs += s.SolvePairs
+	t.SpMVs += s.SpMVs
+	t.Steps += s.Steps
+	t.KrylovSpots += len(s.KrylovDims)
+	t.LanczosSpots += s.LanczosSpots
+}
+
+// Server is the simulation job service. Create with New, expose via
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg        Config
+	cache      *sparse.Cache
+	workspaces *krylov.WorkspacePool
+	queue      chan *Job
+	baseCtx    context.Context
+	stop       context.CancelFunc
+	wg         sync.WaitGroup
+	start      time.Time
+
+	// poolMu guards the cached matexd worker pools for distributed jobs.
+	poolMu    sync.Mutex
+	pools     map[string]dist.Pool
+	poolOrder []string // pool insertion order, for eviction
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // submission order, for listing
+	seq       uint64
+	closing   bool
+	inFlight  int
+	accepted  uint64
+	completed uint64
+	failed    uint64
+	canceled  uint64
+	agg       totals
+}
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      sparse.NewCache(cfg.CacheBytes),
+		workspaces: krylov.NewWorkspacePool(),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		stop:       cancel,
+		start:      time.Now(),
+		jobs:       make(map[string]*Job),
+		pools:      make(map[string]dist.Pool),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// CacheStats exposes the shared factorization cache counters.
+func (s *Server) CacheStats() sparse.CacheStats { return s.cache.Stats() }
+
+// Submit validates, stamps and enqueues a job. The returned job is already
+// visible to Job/stream lookups. Errors: spec problems (client's fault),
+// ErrQueueFull, ErrShuttingDown.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	// Reject cheap-to-detect overload before paying for the parse + stamp:
+	// a saturated or draining server answers without building the system.
+	// The definitive check re-runs under the lock after the build.
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+
+	built, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.seq++
+	job := newJob(fmt.Sprintf("job-%d", s.seq), spec, built)
+	select {
+	case s.queue <- job:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.accepted++
+	s.mu.Unlock()
+	return job, nil
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// pruneLocked evicts the oldest terminal jobs past the retention cap so a
+// long-running service does not accumulate every waveform it ever served.
+// Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.MaxRetainedJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.cfg.MaxRetainedJobs && s.jobs[id].State().Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// runJob executes one job with a per-job context derived from the server
+// lifetime, streaming samples into the job as the integrator advances.
+func (s *Server) runJob(job *Job) {
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if job.Spec.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(job.Spec.TimeoutSec*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
+	if !job.markRunning(cancel) {
+		// Canceled while queued: account for it so the /stats invariant
+		// accepted = completed + failed + canceled + queued + in-flight
+		// holds even for jobs no worker ever ran.
+		s.mu.Lock()
+		s.canceled++
+		s.pruneLocked()
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+
+	b := job.built
+	var (
+		res *transient.Result
+		rep *dist.Report
+		err error
+	)
+	if job.Spec.Distributed {
+		res, rep, err = s.runDistributed(ctx, job.built, job.Spec, job.appendSample)
+	} else {
+		res, err = transient.Simulate(b.sys, b.method, transient.Options{
+			Tstop:        b.tstop,
+			Step:         b.step,
+			Probes:       b.probes,
+			Tol:          job.Spec.Tol,
+			Gamma:        job.Spec.Gamma,
+			MaxDim:       job.Spec.MaxDim,
+			Ordering:     b.order,
+			Krylov:       b.krylov,
+			SolveWorkers: job.Spec.SolveWorkers,
+			Cache:        s.cache,
+			Workspaces:   s.workspaces,
+			Ctx:          ctx,
+			OnSample:     job.appendSample,
+		})
+	}
+	// Fold the outcome into the server counters BEFORE finish() makes the
+	// terminal state visible: a client that watches the stream's done tail
+	// and immediately reads /stats must find its job already counted.
+	// Pruning waits until after finish() — the job only becomes evictable
+	// once it is terminal.
+	s.mu.Lock()
+	s.inFlight--
+	switch {
+	case err == nil:
+		s.completed++
+		s.agg.add(&res.Stats)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.canceled++
+	default:
+		s.failed++
+	}
+	s.mu.Unlock()
+	job.finish(res, rep, err)
+	s.mu.Lock()
+	s.pruneLocked()
+	s.mu.Unlock()
+}
+
+// runDistributed fans the job out through the dist scheduler and replays
+// the superposed waveform as stream samples. The superposition only exists
+// once every subtask has landed, so distributed jobs stream at completion
+// rather than per-step; the shared cache still carries across jobs.
+func (s *Server) runDistributed(ctx context.Context, b *builtJob, spec JobSpec, emit func(float64, []float64)) (*transient.Result, *dist.Report, error) {
+	cfg := dist.Config{
+		Method:       b.method,
+		Tstop:        b.tstop,
+		Step:         b.step,
+		Tol:          spec.Tol,
+		Gamma:        spec.Gamma,
+		MaxDim:       spec.MaxDim,
+		Probes:       b.probes,
+		Ordering:     b.order,
+		Krylov:       b.krylov,
+		SolveWorkers: spec.SolveWorkers,
+		Cache:        s.cache,
+		Ctx:          ctx,
+	}
+	var poolKey string
+	if len(s.cfg.DistAddrs) > 0 {
+		pool, key, err := s.distPool(b.sys, spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: connecting matexd workers: %w", err)
+		}
+		cfg.Pool = pool
+		poolKey = key
+	}
+	res, rep, err := dist.Run(b.sys, cfg)
+	if err != nil {
+		if poolKey != "" {
+			// A failed run may mean buried workers: drop the cached pool
+			// so the next job redials a fresh set instead of inheriting
+			// the corpses.
+			s.dropPool(poolKey)
+		}
+		return nil, nil, err
+	}
+	for i, t := range res.Times {
+		var row []float64
+		if i < len(res.Probes) {
+			row = res.Probes[i]
+		}
+		emit(t, row)
+	}
+	return res, rep, nil
+}
+
+// maxDistPools bounds how many deck-distinct matexd pools the server keeps
+// connected at once.
+const maxDistPools = 8
+
+// distPool returns a connected matexd pool for the job's circuit, reusing
+// an existing pool when the same deck was fanned out before: registration
+// is content-addressed on the workers, so reuse skips the per-job dial,
+// probe and blob upload entirely — the distributed analogue of the shared
+// factorization cache. Pools are keyed by deck identity (case+scale or a
+// netlist-text hash) and evicted oldest-first past maxDistPools.
+func (s *Server) distPool(sys *circuit.System, spec JobSpec) (dist.Pool, string, error) {
+	key := deckKey(spec)
+	s.poolMu.Lock()
+	if p, ok := s.pools[key]; ok {
+		s.poolMu.Unlock()
+		return p, key, nil
+	}
+	s.poolMu.Unlock()
+
+	// Dial outside the lock (it can take seconds); a concurrent duplicate
+	// dial for the same deck is tolerated — last one in wins, the loser
+	// is closed.
+	pool, err := dist.NewRPCPool(sys, s.cfg.DistAddrs)
+	if err != nil {
+		return nil, "", err
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if prev, ok := s.pools[key]; ok {
+		pool.Close()
+		return prev, key, nil
+	}
+	if len(s.pools) >= maxDistPools {
+		oldest := s.poolOrder[0]
+		s.poolOrder = s.poolOrder[1:]
+		if p, ok := s.pools[oldest]; ok {
+			p.Close()
+			delete(s.pools, oldest)
+		}
+	}
+	s.pools[key] = pool
+	s.poolOrder = append(s.poolOrder, key)
+	return pool, key, nil
+}
+
+// dropPool closes and forgets a cached pool (after a failed run).
+func (s *Server) dropPool(key string) {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if p, ok := s.pools[key]; ok {
+		p.Close()
+		delete(s.pools, key)
+		for i, k := range s.poolOrder {
+			if k == key {
+				s.poolOrder = append(s.poolOrder[:i], s.poolOrder[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// closePools releases every cached worker pool (shutdown).
+func (s *Server) closePools() {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	for key, p := range s.pools {
+		p.Close()
+		delete(s.pools, key)
+	}
+	s.poolOrder = nil
+}
+
+// deckKey is the deck-identity cache key for worker pools.
+func deckKey(spec JobSpec) string {
+	if spec.Case != "" {
+		return fmt.Sprintf("case:%s@%g", spec.Case, scaleOrOne(spec.Scale))
+	}
+	// FNV-1a over the inline netlist text.
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(spec.Netlist); i++ {
+		h ^= uint64(spec.Netlist[i])
+		h *= prime
+	}
+	return fmt.Sprintf("netlist:%016x", h)
+}
+
+// Shutdown drains the service: no new submissions, queued and running jobs
+// finish, then the workers exit. If ctx fires first, running jobs are
+// canceled (they unwind at their next step boundary) and Shutdown returns
+// the context error after they do. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closing {
+		s.closing = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.closePools()
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel in-flight jobs; they abort at the next boundary
+		<-done
+		s.closePools()
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,16 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM — the
+// shared shutdown trigger of cmd/matexsrv and cmd/matexd. The second
+// signal restores the default handler, so a stuck drain can still be
+// killed interactively. Call the returned stop function when done.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,6 +1,27 @@
 package sparse
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ParseOrdering resolves an ordering name ("default", "natural", "rcm",
+// "mindeg"; case-insensitive) — the spelling shared by the matex CLI flags
+// and the serve job API. The empty string selects OrderDefault.
+func ParseOrdering(name string) (Ordering, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "default":
+		return OrderDefault, nil
+	case "natural":
+		return OrderNatural, nil
+	case "rcm":
+		return OrderRCM, nil
+	case "mindeg", "mindegree", "min-degree":
+		return OrderMinDegree, nil
+	}
+	return 0, fmt.Errorf("sparse: unknown ordering %q", name)
+}
 
 // Ordering selects a fill-reducing ordering strategy for factorization.
 type Ordering int

@@ -90,9 +90,12 @@ func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 	var xPrev []float64
 	hPrev := 0.0
 
-	res.record(0, x, opts.Probes, opts.KeepFull)
+	res.record(0, x, &opts)
 	t := 0.0
 	for t < opts.Tstop-waveform.SpotEps {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		// Quantize the controller's step onto the geometric grid, then
 		// clamp to the next transition spot and the window end.
 		hStep := quantizeStep(h, hMin)
@@ -146,7 +149,7 @@ func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 		hPrev = hStep
 		t += hStep
 		res.Stats.Steps++
-		res.record(t, x, opts.Probes, opts.KeepFull)
+		res.record(t, x, &opts)
 
 		// Step-size controller (third-order error model for TR).
 		grow := 2.0

@@ -120,11 +120,14 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			}
 		}
 		res.Stats.Steps++
-		res.record(t1, x, opts.Probes, opts.KeepFull)
+		res.record(t1, x, &opts)
 	}
 
-	res.record(0, x, opts.Probes, opts.KeepFull)
+	res.record(0, x, &opts)
 	for k := 0; k < nFull; k++ {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		t0 := float64(k) * h
 		t1 := float64(k+1) * h
 		if k == nFull-1 && rem == 0 {

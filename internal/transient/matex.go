@@ -122,13 +122,16 @@ func SimulateMatex(sys *circuit.System, method Method, opts Options) (*Result, e
 	kopts := krylov.Options{MaxDim: opts.MaxDim, Tol: opts.Tol, Method: opts.Krylov, Workspace: ws}
 
 	if waveform.ContainsSpot(outs, 0) {
-		res.record(0, x, opts.Probes, opts.KeepFull)
+		res.record(0, x, &opts)
 	}
 
 	gi := 0        // index of the last emitted output grid point
 	tBase := 0.0   // time of the current base state x
 	buScale := 0.0 // largest |B·u| endpoint magnitude seen so far
 	for tBase < opts.Tstop-waveform.SpotEps {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		t := tBase
 		// Segment end: next LTS (or Tstop).
 		segEnd := opts.Tstop
@@ -250,7 +253,7 @@ func SimulateMatex(sys *circuit.System, method Method, opts Options) (*Result, e
 			lastEval = tp
 			res.Stats.Steps++
 			if waveform.ContainsSpot(outs, tp) {
-				res.record(tp, xaug[:n], opts.Probes, opts.KeepFull)
+				res.record(tp, xaug[:n], &opts)
 			}
 		}
 		if lastEval < segEnd-waveform.SpotEps {

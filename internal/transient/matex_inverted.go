@@ -88,12 +88,15 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 	kopts := krylov.Options{MaxDim: opts.MaxDim, Tol: opts.Tol, Method: opts.Krylov, Workspace: ws}
 
 	if waveform.ContainsSpot(outs, 0) {
-		res.record(0, x, opts.Probes, opts.KeepFull)
+		res.record(0, x, &opts)
 	}
 
 	gi := 0
 	tBase := 0.0
 	for tBase < opts.Tstop-waveform.SpotEps {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		t := tBase
 		segEnd := opts.Tstop
 		if nx, ok := waveform.NextSpot(lts, t); ok {
@@ -183,7 +186,7 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 			lastEval = tp
 			res.Stats.Steps++
 			if waveform.ContainsSpot(outs, tp) {
-				res.record(tp, xe, opts.Probes, opts.KeepFull)
+				res.record(tp, xe, &opts)
 			}
 		}
 		if lastEval < segEnd-waveform.SpotEps {

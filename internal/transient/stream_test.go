@@ -1,0 +1,169 @@
+package transient
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/pdn"
+)
+
+// streamTestSystem builds a small PDN mesh with transient loads.
+func streamTestSystem(t *testing.T) *circuit.System {
+	t.Helper()
+	spec, err := pdn.IBMCase("ibmpg1t", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := circuit.Stamp(ckt, circuit.StampOptions{CollapseSupplies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestOnSampleStreamsEveryRecordedSample: the hook sees exactly the samples
+// that end up in the Result, in order, for both a MATEX and a fixed-step run.
+func TestOnSampleStreamsEveryRecordedSample(t *testing.T) {
+	sys := streamTestSystem(t)
+	for _, tc := range []struct {
+		name   string
+		method Method
+		opts   Options
+	}{
+		{"rmatex", RMATEX, Options{Tstop: 2e-9, Probes: []int{0, 3}}},
+		{"tr", TRFixed, Options{Tstop: 2e-9, Step: 0.25e-9, Probes: []int{0, 3}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var times []float64
+			var rows [][]float64
+			opts := tc.opts
+			opts.OnSample = func(tt float64, v []float64) {
+				times = append(times, tt)
+				rows = append(rows, append([]float64(nil), v...))
+			}
+			res, err := Simulate(sys, tc.method, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(times) != len(res.Times) {
+				t.Fatalf("streamed %d samples, result has %d", len(times), len(res.Times))
+			}
+			for i := range times {
+				if times[i] != res.Times[i] {
+					t.Fatalf("sample %d: streamed t=%g, result t=%g", i, times[i], res.Times[i])
+				}
+				for k := range rows[i] {
+					if rows[i][k] != res.Probes[i][k] {
+						t.Fatalf("sample %d probe %d: streamed %g, result %g", i, k, rows[i][k], res.Probes[i][k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOnSampleNilRowWithoutProbes: a probe-less run still streams times.
+func TestOnSampleNilRowWithoutProbes(t *testing.T) {
+	sys := streamTestSystem(t)
+	n := 0
+	_, err := Simulate(sys, TRFixed, Options{
+		Tstop: 1e-9, Step: 0.5e-9,
+		OnSample: func(tt float64, v []float64) {
+			if v != nil {
+				t.Fatalf("expected nil probe row, got %v", v)
+			}
+			n++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("hook never fired")
+	}
+}
+
+// TestCtxCancelStopsRun: canceling the context mid-run aborts every
+// integrator with the context error instead of running to Tstop.
+func TestCtxCancelStopsRun(t *testing.T) {
+	sys := streamTestSystem(t)
+	for _, tc := range []struct {
+		name   string
+		method Method
+		opts   Options
+	}{
+		{"tr", TRFixed, Options{Tstop: 10e-9, Step: 0.01e-9}},
+		{"tradpt", TRAdaptive, Options{Tstop: 10e-9, Step: 0.01e-9}},
+		{"rmatex", RMATEX, Options{Tstop: 10e-9}},
+		{"imatex", IMATEX, Options{Tstop: 10e-9}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			opts := tc.opts
+			opts.Ctx = ctx
+			opts.OnSample = func(tt float64, v []float64) {
+				if tt > 0 {
+					cancel() // cancel after the first post-DC sample
+				}
+			}
+			_, err := Simulate(sys, tc.method, opts)
+			if err == nil {
+				t.Fatal("canceled run returned nil error")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			cancel()
+		})
+	}
+}
+
+// TestCtxDeadlineAlreadyExpired: a dead-on-arrival deadline fails fast.
+func TestCtxDeadlineAlreadyExpired(t *testing.T) {
+	sys := streamTestSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Simulate(sys, RMATEX, Options{Tstop: 1e-9, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamedWaveformMatchesBuffered: a streamed run and a plain run of the
+// same job produce identical waveforms (the serving-layer invariant).
+func TestStreamedWaveformMatchesBuffered(t *testing.T) {
+	sys := streamTestSystem(t)
+	opts := Options{Tstop: 5e-9, Probes: []int{1, 5, 9}}
+	plain, err := Simulate(sys, RMATEX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]float64
+	opts.OnSample = func(tt float64, v []float64) {
+		rows = append(rows, append([]float64(nil), v...))
+	}
+	streamed, err := Simulate(sys, RMATEX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(plain.Times) {
+		t.Fatalf("streamed %d rows, plain run has %d", len(rows), len(plain.Times))
+	}
+	if len(streamed.Times) != len(plain.Times) {
+		t.Fatalf("streamed result has %d times, plain %d", len(streamed.Times), len(plain.Times))
+	}
+	for i := range rows {
+		for k := range rows[i] {
+			if d := math.Abs(rows[i][k] - plain.Probes[i][k]); d > 1e-12 {
+				t.Fatalf("sample %d probe %d differs by %g", i, k, d)
+			}
+		}
+	}
+}

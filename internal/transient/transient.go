@@ -16,9 +16,11 @@
 package transient
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
@@ -52,6 +54,30 @@ const (
 	// (factorizes C + γG; regularization-free).
 	RMATEX
 )
+
+// ParseMethod resolves a method name ("tr", "be", "fe", "tradpt", "mexp",
+// "imatex", "rmatex"; case-insensitive) — the spelling shared by the matex
+// CLI flags and the serve job API. The empty string selects R-MATEX, the
+// paper's choice.
+func ParseMethod(name string) (Method, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "tr":
+		return TRFixed, nil
+	case "be":
+		return BEFixed, nil
+	case "fe":
+		return FEFixed, nil
+	case "tradpt":
+		return TRAdaptive, nil
+	case "mexp":
+		return MEXP, nil
+	case "imatex", "i-matex":
+		return IMATEX, nil
+	case "rmatex", "r-matex", "":
+		return RMATEX, nil
+	}
+	return 0, fmt.Errorf("transient: unknown method %q", name)
+}
 
 func (m Method) String() string {
 	switch m {
@@ -137,6 +163,31 @@ type Options struct {
 	// factorizations without level schedules and below the profitability
 	// crossover, so any value is safe; 0 and 1 keep solves sequential.
 	SolveWorkers int
+	// OnSample, when non-nil, is called synchronously after every recorded
+	// output sample with the sample time and the probe row — the streaming
+	// hook the serving layer and `matex -stream` emit waveform chunks from
+	// as the integrator advances, instead of waiting for the whole Result.
+	// The row aliases the slice just appended to Result.Probes (nil when no
+	// probes are configured); the callback must copy it if it retains it,
+	// and its cost lands on the simulation critical path.
+	OnSample func(t float64, probes []float64) `json:"-"`
+	// Ctx, when non-nil, cancels the run: integrators check it at every
+	// step/segment boundary and return the context's error (wrapped) once it
+	// fires, so a canceled or deadline-expired job stops mid-simulation
+	// instead of running to Tstop. Nil means no cancellation.
+	Ctx context.Context `json:"-"`
+}
+
+// cancelled reports the context error once Options.Ctx has fired; the
+// integrators call it at every step/segment boundary.
+func (o *Options) cancelled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return fmt.Errorf("transient: run canceled: %w", err)
+	}
+	return nil
 }
 
 // workspaces resolves the arena pool.
@@ -235,18 +286,22 @@ type Result struct {
 	Stats  Stats
 }
 
-// record appends an output sample.
-func (r *Result) record(t float64, x []float64, probes []int, keepFull bool) {
+// record appends an output sample and fires the streaming hook.
+func (r *Result) record(t float64, x []float64, opts *Options) {
 	r.Times = append(r.Times, t)
-	if len(probes) > 0 {
-		row := make([]float64, len(probes))
-		for i, p := range probes {
+	var row []float64
+	if len(opts.Probes) > 0 {
+		row = make([]float64, len(opts.Probes))
+		for i, p := range opts.Probes {
 			row[i] = x[p]
 		}
 		r.Probes = append(r.Probes, row)
 	}
-	if keepFull {
+	if opts.KeepFull {
 		r.Full = append(r.Full, append([]float64(nil), x...))
+	}
+	if opts.OnSample != nil {
+		opts.OnSample(t, row)
 	}
 }
 

@@ -309,9 +309,10 @@ func TestMexpRegularizesSingularC(t *testing.T) {
 func TestResultHelpers(t *testing.T) {
 	r := &Result{}
 	x := []float64{1, 2, 3}
-	r.record(0, x, []int{0, 2}, true)
+	ropts := &Options{Probes: []int{0, 2}, KeepFull: true}
+	r.record(0, x, ropts)
 	x[0] = 5
-	r.record(1, x, []int{0, 2}, true)
+	r.record(1, x, ropts)
 	if r.Probes[0][0] != 1 || r.Probes[1][0] != 5 || r.Probes[0][1] != 3 {
 		t.Fatal("record wrong")
 	}

@@ -31,6 +31,7 @@ import (
 	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/netlist"
 	"github.com/matex-sim/matex/internal/pdn"
+	"github.com/matex-sim/matex/internal/serve"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
 	"github.com/matex-sim/matex/internal/waveform"
@@ -193,6 +194,24 @@ func NewRPCPool(sys *System, addrs []string) (dist.Pool, error) { return dist.Ne
 
 // NewWorkerServer returns a worker service for use with ServeWorkers.
 func NewWorkerServer() *WorkerServer { return dist.NewWorkerServer() }
+
+// Serving: the HTTP simulation job service (see cmd/matexsrv).
+type (
+	// JobServer is the simulation job service: a bounded worker-pool queue
+	// over the shared factorization cache with incremental NDJSON/SSE
+	// waveform streaming. Expose JobServer.Handler() over HTTP and stop it
+	// with Shutdown.
+	JobServer = serve.Server
+	// JobServerConfig configures a JobServer.
+	JobServerConfig = serve.Config
+	// JobSpec is one job submission (the POST /v1/jobs body).
+	JobSpec = serve.JobSpec
+	// Job is a queued or running simulation job.
+	Job = serve.Job
+)
+
+// NewJobServer starts a job service's worker pool and returns it.
+func NewJobServer(cfg JobServerConfig) *JobServer { return serve.New(cfg) }
 
 // Benchmark generators.
 type (

@@ -1,0 +1,135 @@
+// Command benchcmp compares a fresh scripts/bench.sh JSON trajectory
+// against a committed baseline and fails when any selected row slowed down
+// past a tolerance factor — the CI bench-regression gate.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp -base BENCH_PR4.json -new bench-ci.json \
+//	    -rows '^Benchmark(Factor_|Refactor_|Solve)' -max-ratio 2.5
+//
+// It prints a Markdown comparison table (pipe it into
+// "$GITHUB_STEP_SUMMARY" for the job summary) and exits non-zero on a
+// regression. The tolerance is deliberately generous: CI machines are
+// noisy and the gate is meant to catch order-of-magnitude regressions
+// (a lost fast path, an accidental re-analysis per step), not jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type benchFile struct {
+	Benchtime  string           `json:"benchtime"`
+	Benchmarks []map[string]any `json:"benchmarks"`
+}
+
+// load reads a bench JSON file into name → ns/op.
+func load(path string) (map[string]float64, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	rows := make(map[string]float64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		name, _ := b["name"].(string)
+		ns, ok := b["ns/op"].(float64)
+		if name == "" || !ok {
+			continue
+		}
+		rows[name] = ns
+	}
+	return rows, f.Benchtime, nil
+}
+
+func main() {
+	basePath := flag.String("base", "BENCH_PR4.json", "committed baseline JSON")
+	newPath := flag.String("new", "bench-ci.json", "freshly measured JSON")
+	rowsPat := flag.String("rows", "^Benchmark(Factor_|Refactor_|SolvePar_|SolveSeq_|SolveMulti_)", "regexp selecting the gated rows")
+	maxRatio := flag.Float64("max-ratio", 2.5, "fail when new/base ns/op exceeds this on any gated row")
+	flag.Parse()
+
+	sel, err := regexp.Compile(*rowsPat)
+	if err != nil {
+		fatal(err)
+	}
+	base, baseTime, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, freshTime, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if sel.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no baseline rows match %q", *rowsPat))
+	}
+
+	fmt.Printf("## Solver bench regression gate\n\n")
+	fmt.Printf("Baseline `%s` (%s) vs fresh `%s` (%s); gate: ratio ≤ %.2fx on gated rows.\n\n",
+		*basePath, baseTime, *newPath, freshTime, *maxRatio)
+	fmt.Printf("| benchmark | base ns/op | new ns/op | ratio | gated | status |\n")
+	fmt.Printf("|---|---:|---:|---:|:-:|:-:|\n")
+
+	failed := 0
+	missing := 0
+	for _, name := range names {
+		b := base[name]
+		n, ok := fresh[name]
+		if !ok {
+			fmt.Printf("| %s | %.0f | (missing) | — | yes | :x: |\n", name, b)
+			missing++
+			continue
+		}
+		ratio := n / b
+		status := ":white_check_mark:"
+		if ratio > *maxRatio {
+			status = ":x:"
+			failed++
+		}
+		fmt.Printf("| %s | %.0f | %.0f | %.2fx | yes | %s |\n", name, b, n, ratio, status)
+	}
+	// Ungated rows ride along for context, never failing the gate.
+	var rest []string
+	for name := range base {
+		if !sel.MatchString(name) {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		n, ok := fresh[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("| %s | %.0f | %.0f | %.2fx | no | — |\n", name, base[name], n, n/base[name])
+	}
+
+	fmt.Println()
+	if failed > 0 || missing > 0 {
+		fmt.Printf("**FAIL**: %d row(s) past %.2fx, %d missing from the fresh run.\n", failed, *maxRatio, missing)
+		os.Exit(1)
+	}
+	fmt.Printf("**PASS**: all %d gated rows within %.2fx.\n", len(names), *maxRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

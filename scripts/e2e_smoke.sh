@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — end-to-end smoke of the three binaries working together:
+#
+#   1. pgbench | matex            one-shot CLI over a generated deck
+#   2. matexd TCP loopback        distributed run over a real worker,
+#                                 then a SIGTERM graceful-drain check
+#   3. matexsrv submit-and-stream curl submit, NDJSON stream, /stats and
+#                                 /healthz checks, SIGTERM drain, exit 0
+#
+# CI runs this on every PR; it is also runnable locally (only needs curl).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+cleanup() {
+    # Kill anything we left running, ignore failures.
+    [[ -n "${MATEXD_PID:-}" ]] && kill "$MATEXD_PID" 2>/dev/null || true
+    [[ -n "${MATEXSRV_PID:-}" ]] && kill "$MATEXSRV_PID" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { printf '\n== %s\n' "$*"; }
+
+say "building binaries"
+go build -o "$workdir/pgbench" ./cmd/pgbench
+go build -o "$workdir/matex" ./cmd/matex
+go build -o "$workdir/matexd" ./cmd/matexd
+go build -o "$workdir/matexsrv" ./cmd/matexsrv
+
+say "pgbench | matex one-shot"
+"$workdir/pgbench" -case ibmpg1t -scale 0.25 > "$workdir/deck.sp"
+"$workdir/matex" "$workdir/deck.sp" > "$workdir/oneshot.tsv"
+lines=$(wc -l < "$workdir/oneshot.tsv")
+[[ "$lines" -gt 2 ]] || { echo "matex produced only $lines lines"; exit 1; }
+head -3 "$workdir/oneshot.tsv"
+
+say "matex -stream matches buffered output"
+"$workdir/matex" -stream "$workdir/deck.sp" > "$workdir/streamed.tsv"
+cmp "$workdir/oneshot.tsv" "$workdir/streamed.tsv"
+echo "streamed TSV identical to buffered"
+
+say "matexd TCP loopback"
+"$workdir/matexd" -listen 127.0.0.1:19090 > "$workdir/matexd.log" 2>&1 &
+MATEXD_PID=$!
+for i in $(seq 1 50); do
+    grep -q "listening" "$workdir/matexd.log" && break
+    sleep 0.1
+done
+grep -q "listening" "$workdir/matexd.log" || { echo "matexd never came up"; cat "$workdir/matexd.log"; exit 1; }
+"$workdir/matex" -workers 127.0.0.1:19090 "$workdir/deck.sp" > "$workdir/dist.tsv"
+dlines=$(wc -l < "$workdir/dist.tsv")
+[[ "$dlines" -gt 2 ]] || { echo "distributed run produced only $dlines lines"; exit 1; }
+
+say "matexd SIGTERM graceful drain"
+kill -TERM "$MATEXD_PID"
+drain_rc=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$MATEXD_PID" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if kill -0 "$MATEXD_PID" 2>/dev/null; then
+    echo "matexd still alive 10s after SIGTERM"; exit 1
+fi
+wait "$MATEXD_PID" || drain_rc=$?
+[[ "$drain_rc" -eq 0 ]] || { echo "matexd exited $drain_rc after SIGTERM, want 0"; cat "$workdir/matexd.log"; exit 1; }
+grep -q "drained" "$workdir/matexd.log" || { echo "matexd did not report a drain"; cat "$workdir/matexd.log"; exit 1; }
+MATEXD_PID=""
+echo "matexd drained and exited 0"
+
+say "matexsrv submit-and-stream"
+"$workdir/matexsrv" -listen 127.0.0.1:18080 > "$workdir/matexsrv.log" 2>&1 &
+MATEXSRV_PID=$!
+for i in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:18080/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "http://127.0.0.1:18080/healthz" | grep -q '"ok":true' || { echo "healthz failed"; cat "$workdir/matexsrv.log"; exit 1; }
+
+# Submit-and-stream with the generated deck as an inline netlist.
+python3 - "$workdir/deck.sp" > "$workdir/job.json" <<'EOF'
+import json, sys
+print(json.dumps({"netlist": open(sys.argv[1]).read()}))
+EOF
+curl -sf -X POST --data-binary @"$workdir/job.json" \
+    "http://127.0.0.1:18080/v1/simulate" > "$workdir/stream.ndjson"
+nlines=$(wc -l < "$workdir/stream.ndjson")
+[[ "$nlines" -gt 3 ]] || { echo "stream produced only $nlines chunks"; cat "$workdir/stream.ndjson"; exit 1; }
+head -2 "$workdir/stream.ndjson"
+tail -1 "$workdir/stream.ndjson" | grep -q '"done":true' || { echo "stream missing done chunk"; tail -3 "$workdir/stream.ndjson"; exit 1; }
+tail -1 "$workdir/stream.ndjson" | grep -q '"state":"done"' || { echo "job did not finish done"; tail -1 "$workdir/stream.ndjson"; exit 1; }
+
+# A second identical job must hit the shared factorization cache.
+curl -sf -X POST --data-binary @"$workdir/job.json" \
+    "http://127.0.0.1:18080/v1/simulate" > /dev/null
+curl -sf "http://127.0.0.1:18080/stats" > "$workdir/stats.json"
+python3 - "$workdir/stats.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["jobs_completed"] >= 2, s
+assert s["totals"]["cache_hits"] > 0, "no shared-cache hits across jobs: %r" % (s["totals"],)
+print("stats ok: %d jobs, %d cache hits" % (s["jobs_completed"], s["totals"]["cache_hits"]))
+EOF
+
+say "matexsrv SIGTERM graceful drain"
+kill -TERM "$MATEXSRV_PID"
+srv_rc=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$MATEXSRV_PID" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if kill -0 "$MATEXSRV_PID" 2>/dev/null; then
+    echo "matexsrv still alive 10s after SIGTERM"; exit 1
+fi
+wait "$MATEXSRV_PID" || srv_rc=$?
+[[ "$srv_rc" -eq 0 ]] || { echo "matexsrv exited $srv_rc after SIGTERM, want 0"; cat "$workdir/matexsrv.log"; exit 1; }
+grep -q "drained" "$workdir/matexsrv.log" || { echo "matexsrv did not report a drain"; cat "$workdir/matexsrv.log"; exit 1; }
+MATEXSRV_PID=""
+echo "matexsrv drained and exited 0"
+
+say "e2e smoke PASS"
