@@ -522,6 +522,116 @@ func BenchmarkSolveMulti_k4_ibmpg1t2x(b *testing.B) { benchSolveMulti(b, 4, true
 func BenchmarkSolveSeq_k8_ibmpg1t2x(b *testing.B)   { benchSolveMulti(b, 8, false) }
 func BenchmarkSolveMulti_k8_ibmpg1t2x(b *testing.B) { benchSolveMulti(b, 8, true) }
 
+// BenchmarkSolveSeq/Par_mesh96nd: one strongly coupled 96×96 mesh — the
+// single-domain shape where the old level schedule found no usable task
+// partition (the fill concentrates in the top separators). Nested
+// dissection exposes the separator tree explicitly, so this row is
+// parallelizable only under OrderND; it benchmarks the satellite claim
+// directly rather than relying on the block-diagonal 4dom shortcut. The
+// same shape carries the engine-comparison rows: under nested dissection
+// its separators amalgamate into wide panels, so auto analysis picks the
+// supernodal engine (the headline rows) while the *Scalar_mesh96nd rows
+// pin SNNever for the side-by-side.
+func mesh96CSC(b *testing.B) *sparse.CSC {
+	b.Helper()
+	side := 96
+	n := side * side
+	tr := sparse.NewTriplet(n, n)
+	id := func(i, j int) int { return i*side + j }
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			c := id(i, j)
+			tr.Add(c, c, 4.5)
+			if i+1 < side {
+				tr.Add(c, id(i+1, j), -1)
+				tr.Add(id(i+1, j), c, -1)
+			}
+			if j+1 < side {
+				tr.Add(c, id(i, j+1), -1)
+				tr.Add(id(i, j+1), c, -1)
+			}
+		}
+	}
+	return tr.ToCSC()
+}
+
+func meshNDBenchAnalysis(b *testing.B, mode sparse.SupernodeMode) (*sparse.Symbolic, *sparse.LDLT, *sparse.CSC, []float64) {
+	b.Helper()
+	a := mesh96CSC(b)
+	sym, err := sparse.AnalyzeLDLTParams(a, sparse.OrderND, sparse.SupernodeParams{Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := sym.Refactor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	return sym, f, a, rhs
+}
+
+func meshNDBenchFactor(b *testing.B) (*sparse.LDLT, []float64) {
+	b.Helper()
+	_, f, _, rhs := meshNDBenchAnalysis(b, sparse.SNAuto)
+	return f, rhs
+}
+
+func benchRefactorMesh(b *testing.B, mode sparse.SupernodeMode) {
+	sym, f, a, _ := meshNDBenchAnalysis(b, mode)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sym.RefactorInto(f, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefactor_mesh96nd(b *testing.B)       { benchRefactorMesh(b, sparse.SNAuto) }
+func BenchmarkRefactorScalar_mesh96nd(b *testing.B) { benchRefactorMesh(b, sparse.SNNever) }
+
+func BenchmarkSolveSeqScalar_mesh96nd(b *testing.B) {
+	_, f, _, rhs := meshNDBenchAnalysis(b, sparse.SNNever)
+	x := make([]float64, f.N())
+	work := make([]float64, f.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SolveWith(x, rhs, work)
+	}
+}
+
+func BenchmarkSolveSeq_mesh96nd(b *testing.B) {
+	f, rhs := meshNDBenchFactor(b)
+	x := make([]float64, f.N())
+	work := make([]float64, f.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SolveWith(x, rhs, work)
+	}
+}
+
+func BenchmarkSolvePar_mesh96nd(b *testing.B) {
+	f, rhs := meshNDBenchFactor(b)
+	if !f.ParallelizableSolve() {
+		b.Fatal("coupled mesh not parallelizable under nested dissection")
+	}
+	x := make([]float64, f.N())
+	work := make([]float64, f.N())
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ParSolveWith(x, rhs, work, workers)
+	}
+}
+
 // --- Fig. 5: rational-Krylov error vs step size ----------------------------
 
 func BenchmarkFig5_ErrorSweep(b *testing.B) {

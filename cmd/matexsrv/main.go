@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/matex-sim/matex/internal/serve"
+	"github.com/matex-sim/matex/internal/sparse"
 )
 
 func main() {
@@ -40,13 +41,19 @@ func main() {
 	queue := flag.Int("queue", 64, "queued-job capacity; a full queue answers 429")
 	cacheMB := flag.Int("cache-mb", 512, "shared factorization cache budget in MiB (<=0 selects the default)")
 	distWorkers := flag.String("dist-workers", "", "comma-separated matexd TCP addresses for distributed jobs (empty = in-process pool)")
+	order := flag.String("order", "default", "default fill-reducing ordering for jobs that do not set their own: default (=rcm), natural, rcm, mindeg, nd")
 	grace := flag.Duration("grace", 30*time.Second, "drain budget after SIGINT/SIGTERM before running jobs are canceled")
 	flag.Parse()
 
+	ord, err := sparse.ParseOrdering(*order)
+	if err != nil {
+		log.Fatalf("matexsrv: %v", err)
+	}
 	cfg := serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: int64(*cacheMB) << 20,
+		Ordering:   ord,
 	}
 	if *distWorkers != "" {
 		cfg.DistAddrs = strings.Split(*distWorkers, ",")

@@ -119,6 +119,9 @@ type WorkerServer struct {
 	// solveWorkers is the worker-local per-solve goroutine default applied
 	// when a request leaves SolveWorkers unset (matexd -solve-par).
 	solveWorkers int
+	// ordering is the worker-local default ordering applied when a request
+	// arrives with OrderDefault (matexd -order).
+	ordering sparse.Ordering
 	// calls tracks in-flight RPC handlers so a draining worker (SIGTERM on
 	// matexd, ServeContext cancellation) finishes what it started before
 	// its connections are severed.
@@ -211,6 +214,11 @@ var errDraining = errors.New("dist: worker is draining (shutting down)")
 // for requests that do not specify one. Call before Serve.
 func (w *WorkerServer) SetSolveWorkers(n int) { w.solveWorkers = n }
 
+// SetOrdering sets the worker-local default fill-reducing ordering applied
+// when a request arrives with OrderDefault (matexd -order). Call before
+// Serve.
+func (w *WorkerServer) SetOrdering(o sparse.Ordering) { w.ordering = o }
+
 // NewWorkerServer returns an empty worker service for use with Serve, with
 // a default-budget factorization cache.
 func NewWorkerServer() *WorkerServer {
@@ -283,6 +291,9 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	req := args.Req
 	if req.SolveWorkers == 0 {
 		req.SolveWorkers = w.solveWorkers
+	}
+	if req.Ordering == sparse.OrderDefault {
+		req.Ordering = w.ordering
 	}
 	opts := subtaskOptions(nil, ws.sys, args.Task, req, w.cache, w.workspaces)
 	res, err := transient.Simulate(ws.sys, req.Method, opts)

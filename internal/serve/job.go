@@ -44,7 +44,8 @@ type JobSpec struct {
 	MaxDim int     `json:"max_dim,omitempty"`
 	// Krylov: "auto", "arnoldi", "lanczos" (empty = auto).
 	Krylov string `json:"krylov,omitempty"`
-	// Ordering: "default", "natural", "rcm", "mindeg" (empty = default).
+	// Ordering: "default", "natural", "rcm", "mindeg", "nd" (empty =
+	// default, resolved against the server's -order setting).
 	Ordering string `json:"ordering,omitempty"`
 	// SolveWorkers > 1 enables level-scheduled parallel triangular solves.
 	SolveWorkers int `json:"solve_workers,omitempty"`

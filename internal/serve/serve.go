@@ -42,6 +42,10 @@ type Config struct {
 	// DistAddrs lists matexd workers distributed jobs fan out to; empty
 	// runs them on the in-process pool.
 	DistAddrs []string
+	// Ordering is the fill-reducing ordering applied to jobs whose spec
+	// leaves the ordering unset (matexsrv -order). The zero value keeps
+	// the repository default resolution (rcm).
+	Ordering sparse.Ordering
 	// MaxRetainedJobs bounds how many finished jobs (and their retained
 	// sample waveforms) stay queryable/replayable after completion; once
 	// exceeded, the oldest terminal jobs are evicted. Queued and running
@@ -176,6 +180,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	built, err := spec.build()
 	if err != nil {
 		return nil, err
+	}
+	if built.order == sparse.OrderDefault {
+		built.order = s.cfg.Ordering
 	}
 
 	s.mu.Lock()

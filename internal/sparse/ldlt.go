@@ -13,19 +13,58 @@ import (
 //
 // The factorization is split into a once-per-pattern symbolic analysis
 // (Symbolic, shared by every factor of the same sparsity pattern) and the
-// numeric values held here. A factor is immutable through the solve API and
-// safe for concurrent solves; RefactorInto mutates it and must not race
-// with solves.
+// numeric values held here. The analysis decides between two numeric
+// engines: the supernodal one stores L as dense column panels (snValues, one
+// per supernode) and runs blocked kernels, the scalar fallback stores L
+// entry-wise (values/valuesR) and runs the up-looking elimination. A factor
+// is immutable through the solve API and safe for concurrent solves;
+// RefactorInto mutates it and must not race with solves.
 type LDLT struct {
 	sym    *Symbolic
-	values []float64 // L values, aligned with sym.rowidx (column-major)
+	values []float64 // L values, aligned with sym.rowidx (column-major; scalar engine)
 	// valuesR mirrors values in row-major order (aligned with sym.rowind),
 	// maintained for free by the refactorization: the level-scheduled
 	// forward solve gathers rows contiguously from it instead of chasing
 	// the rowpos indirection through the column-major array.
 	valuesR []float64
 	d       []float64 // diagonal of D
-	y       []float64 // refactorization scratch, length n, kept all-zero
+	y       []float64 // scalar refactorization scratch, length n, kept all-zero
+
+	// Supernodal engine state: the concatenated dense panels and the
+	// refactorization workspaces (row → panel-local scatter map, the
+	// contiguous update accumulator, per-column update coefficients).
+	// The workspaces are touched only by RefactorInto, which holds the
+	// factor exclusively by contract.
+	snValues []float64
+	smap     []int32
+	uptmp    []float64
+	coeff    []float64
+
+	// gbuf is the factor-owned below-block gather buffer for the supernodal
+	// solves (4·maxRows: room for the widest multi-RHS block), claimed with
+	// a CAS so the uncontended solve stays allocation-free even under the
+	// race detector, where sync.Pool deliberately drops Puts. Concurrent
+	// solves that lose the claim fall back to the shared pool.
+	gbuf  []float64
+	gbusy atomic.Bool
+}
+
+// getG claims the factor's gather buffer, falling back to the shared pool
+// under contention. sz must not exceed len(gbuf). Release with putG.
+func (f *LDLT) getG(sz int) ([]float64, *[]float64) {
+	if f.gbusy.CompareAndSwap(false, true) {
+		return f.gbuf[:sz], nil
+	}
+	p := getWork(sz)
+	return (*p)[:sz], p
+}
+
+func (f *LDLT) putG(pooled *[]float64) {
+	if pooled != nil {
+		solveWork.Put(pooled)
+	} else {
+		f.gbusy.Store(false)
+	}
 }
 
 // N returns the dimension of the factored matrix.
@@ -45,7 +84,14 @@ func (f *LDLT) L() *CSC {
 	for i, r := range f.sym.rowidx {
 		rowidx[i] = int(r)
 	}
-	values := append([]float64(nil), f.values...)
+	values := make([]float64, f.sym.lnz)
+	if sn := f.sym.sn; sn != nil {
+		for q := range values {
+			values[q] = f.snValues[sn.scalarPos[q]]
+		}
+	} else {
+		copy(values, f.values)
+	}
 	return &CSC{Rows: n, Cols: n, Colptr: colptr, Rowidx: rowidx, Values: values}
 }
 
@@ -129,6 +175,10 @@ func (f *LDLT) SolveWith(dst, b, work []float64) {
 	if len(work) != n {
 		panic("sparse: LDLT.SolveWith workspace length mismatch")
 	}
+	if f.sym.sn != nil {
+		f.solveSN(dst, b, work)
+		return
+	}
 	perm := f.sym.perm
 	// work = Pᵀ·b (entry k of the permuted system is entry p[k] of the original).
 	for k := 0; k < n; k++ {
@@ -168,15 +218,22 @@ func (f *LDLT) SolveWith(dst, b, work []float64) {
 // to the sequential path.
 const parMinLNZ = 32768
 
-// ParallelizableSolve reports whether the etree task schedule makes a
-// parallel solve worth attempting for this factor: enough fill to amortize
-// the fan-out and a usable task partition (≥ 2 independent subtrees with
-// the separator tail below a quarter of the work — buildTasks escalates its
-// chunk bound to reach that, and leaves the schedule empty when the
-// pattern's root separators make it unreachable).
+// ParallelizableSolve reports whether the task schedule makes a parallel
+// solve worth attempting for this factor: enough fill to amortize the
+// fan-out and a usable task partition (≥ 2 independent subtrees with the
+// separator tail below a quarter of the work — cutTasks escalates its chunk
+// bound to reach that, and leaves the schedule empty when the pattern's
+// root separators make it unreachable). The supernodal engine schedules
+// over the supernode elimination tree, the scalar engine over the nodal one.
 func (f *LDLT) ParallelizableSolve() bool {
 	sym := f.sym
-	return sym.lnz >= parMinLNZ && len(sym.taskPtr) > 2
+	if sym.lnz < parMinLNZ {
+		return false
+	}
+	if sym.sn != nil {
+		return len(sym.sn.taskPtr) > 2
+	}
+	return len(sym.taskPtr) > 2
 }
 
 // ParSolveWith is SolveWith with the triangular solves scheduled over the
@@ -184,14 +241,14 @@ func (f *LDLT) ParallelizableSolve() bool {
 // subtrees run concurrently in gather (dot-product) form — each row is
 // finalized by reading only its descendants, so a task never touches
 // another task's rows — and the separator tail of common ancestors runs
-// sequentially after (forward) or before (backward) the fan-out. workers <=
-// 1 and factors below the profitability crossover fall back to the
-// sequential path entirely. Safe for concurrent use.
+// sequentially after (forward) or before (backward) the fan-out. Under the
+// supernodal engine the unit of scheduling is the supernode: tasks finalize
+// whole panels, pulling descendant contributions through the update records.
+// workers <= 1 and factors below the profitability crossover fall back to
+// the sequential path entirely; the fan-out itself runs on a persistent
+// worker pool and allocates nothing. Safe for concurrent use.
 func (f *LDLT) ParSolveWith(dst, b, work []float64, workers int) {
 	n := f.sym.n
-	if workers > 1 && workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers <= 1 || !f.ParallelizableSolve() {
 		f.SolveWith(dst, b, work)
 		return
@@ -204,79 +261,186 @@ func (f *LDLT) ParSolveWith(dst, b, work []float64, workers int) {
 	for k := 0; k < n; k++ {
 		work[k] = b[perm[k]]
 	}
-	values, valuesR, d := f.values, f.valuesR, f.d
-	rowptr, rowind := sym.rowptr, sym.rowind
-	colptr, rowidx := sym.colptr, sym.rowidx
-
-	// Forward gather for one row range (ascending order within the range).
-	fwdRows := func(rows []int32) {
-		for _, k32 := range rows {
-			k := int(k32)
-			s := work[k]
-			for p := rowptr[k]; p < rowptr[k+1]; p++ {
-				s -= valuesR[p] * work[rowind[p]]
-			}
-			work[k] = s
+	d := f.d
+	if sn := sym.sn; sn != nil {
+		// L·z = b: subtree tasks fan out in gather form, barrier, then the
+		// separator tail (also gather form — its update records reach into
+		// the now-final task panels).
+		f.runTasksPar(phaseFwdSN, work, workers)
+		for _, t := range sn.tailSN {
+			f.fwdOneSNGather(int(t), work)
 		}
-	}
-	// Backward gather for one row range, descending order: row i of Lᵀ is
-	// column i of L.
-	bwdRows := func(rows []int32) {
-		for t := len(rows) - 1; t >= 0; t-- {
-			i := int(rows[t])
-			s := work[i]
-			for q := colptr[i]; q < colptr[i+1]; q++ {
-				s -= values[q] * work[rowidx[q]]
-			}
-			work[i] = s
+		for j := 0; j < n; j++ {
+			work[j] /= d[j]
 		}
+		// Lᵀ·x = z: separator tail first (descending), then the task fan-out.
+		g, pooled := f.getG(sn.maxRows)
+		for i := len(sn.tailSN) - 1; i >= 0; i-- {
+			f.bwdOneSN(int(sn.tailSN[i]), work, g)
+		}
+		f.putG(pooled)
+		f.runTasksPar(phaseBwdSN, work, workers)
+	} else {
+		f.runTasksPar(phaseFwdScalar, work, workers)
+		f.fwdRowsGather(sym.tailRows, work)
+		for j := 0; j < n; j++ {
+			work[j] /= d[j]
+		}
+		f.bwdRowsGather(sym.tailRows, work)
+		f.runTasksPar(phaseBwdScalar, work, workers)
 	}
-
-	// L·z = b: tasks fan out, barrier, separator tail.
-	runTasks(sym, workers, fwdRows)
-	fwdRows(sym.tailRows)
-	for j := 0; j < n; j++ {
-		work[j] /= d[j]
-	}
-	// Lᵀ·x = z: separator tail first, then the task fan-out.
-	bwdRows(sym.tailRows)
-	runTasks(sym, workers, bwdRows)
-
 	for k := 0; k < n; k++ {
 		dst[perm[k]] = work[k]
 	}
 }
 
-// runTasks fans the subtree tasks out over workers goroutines pulling from
-// an atomic cursor, and waits for all of them.
-func runTasks(sym *Symbolic, workers int, body func(rows []int32)) {
-	ntasks := len(sym.taskPtr) - 1
-	if workers > ntasks {
-		workers = ntasks
+// fwdRowsGather finalizes a row range of the scalar forward solve in gather
+// form (ascending order within the range).
+func (f *LDLT) fwdRowsGather(rows []int32, work []float64) {
+	sym := f.sym
+	valuesR, rowptr, rowind := f.valuesR, sym.rowptr, sym.rowind
+	for _, k32 := range rows {
+		k := int(k32)
+		s := work[k]
+		for p := rowptr[k]; p < rowptr[k+1]; p++ {
+			s -= valuesR[p] * work[rowind[p]]
+		}
+		work[k] = s
 	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 1; w < workers; w++ {
-		wg.Add(1)
+}
+
+// bwdRowsGather finalizes a row range of the scalar backward solve in gather
+// form, descending order: row i of Lᵀ is column i of L.
+func (f *LDLT) bwdRowsGather(rows []int32, work []float64) {
+	sym := f.sym
+	values, colptr, rowidx := f.values, sym.colptr, sym.rowidx
+	for t := len(rows) - 1; t >= 0; t-- {
+		i := int(rows[t])
+		s := work[i]
+		for q := colptr[i]; q < colptr[i+1]; q++ {
+			s -= values[q] * work[rowidx[q]]
+		}
+		work[i] = s
+	}
+}
+
+// Solve phases dispatched through the persistent worker pool.
+const (
+	phaseFwdScalar = iota
+	phaseBwdScalar
+	phaseFwdSN
+	phaseBwdSN
+)
+
+// runTaskBody executes one task of the given phase: a row range (scalar) or
+// a supernode range (supernodal) of the factor's task schedule.
+func (f *LDLT) runTaskBody(phase uint8, t int, work []float64) {
+	switch phase {
+	case phaseFwdScalar:
+		sym := f.sym
+		f.fwdRowsGather(sym.taskRows[sym.taskPtr[t]:sym.taskPtr[t+1]], work)
+	case phaseBwdScalar:
+		sym := f.sym
+		f.bwdRowsGather(sym.taskRows[sym.taskPtr[t]:sym.taskPtr[t+1]], work)
+	case phaseFwdSN:
+		sn := f.sym.sn
+		sns := sn.taskSN[sn.taskPtr[t]:sn.taskPtr[t+1]]
+		for _, s := range sns {
+			f.fwdOneSNGather(int(s), work)
+		}
+	case phaseBwdSN:
+		sn := f.sym.sn
+		sns := sn.taskSN[sn.taskPtr[t]:sn.taskPtr[t+1]]
+		gw := getWork(sn.maxRows)
+		g := (*gw)[:sn.maxRows]
+		for i := len(sns) - 1; i >= 0; i-- {
+			f.bwdOneSN(int(sns[i]), work, g)
+		}
+		solveWork.Put(gw)
+	}
+}
+
+func (f *LDLT) ntasks() int {
+	if sn := f.sym.sn; sn != nil {
+		return len(sn.taskPtr) - 1
+	}
+	return len(f.sym.taskPtr) - 1
+}
+
+// parJob is one phase fan-out handed to the persistent workers: helpers and
+// the submitting goroutine pull task indices from the shared cursor until
+// the schedule is drained. Pooled so steady-state parallel solves allocate
+// nothing.
+type parJob struct {
+	f      *LDLT
+	work   []float64
+	phase  uint8
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+func (j *parJob) run() {
+	n := j.f.ntasks()
+	for {
+		t := int(j.cursor.Add(1)) - 1
+		if t >= n {
+			return
+		}
+		j.f.runTaskBody(j.phase, t, j.work)
+	}
+}
+
+var (
+	parJobPool  = sync.Pool{New: func() any { return new(parJob) }}
+	parWorkOnce sync.Once
+	parWorkCh   chan *parJob
+)
+
+// startParWorkers launches the persistent solver worker pool. Workers idle
+// on a channel between jobs; each queued reference to a job is one helper's
+// participation in its fan-out.
+func startParWorkers() {
+	nw := runtime.GOMAXPROCS(0)
+	if nw < 4 {
+		nw = 4
+	}
+	parWorkCh = make(chan *parJob, nw)
+	for i := 0; i < nw; i++ {
 		go func() {
-			defer wg.Done()
-			for {
-				t := int(cursor.Add(1)) - 1
-				if t >= ntasks {
-					return
-				}
-				body(sym.taskRows[sym.taskPtr[t]:sym.taskPtr[t+1]])
+			for j := range parWorkCh {
+				j.run()
+				j.wg.Done()
 			}
 		}()
 	}
-	for {
-		t := int(cursor.Add(1)) - 1
-		if t >= ntasks {
-			break
-		}
-		body(sym.taskRows[sym.taskPtr[t]:sym.taskPtr[t+1]])
+}
+
+// runTasksPar drains one phase's task schedule on up to workers goroutines
+// (the caller plus workers-1 pool helpers), blocking until every task is
+// done. With a single worker it degrades to a plain sequential loop.
+func (f *LDLT) runTasksPar(phase uint8, work []float64, workers int) {
+	n := f.ntasks()
+	if workers > n {
+		workers = n
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			f.runTaskBody(phase, t, work)
+		}
+		return
+	}
+	parWorkOnce.Do(startParWorkers)
+	j := parJobPool.Get().(*parJob)
+	j.f, j.work, j.phase = f, work, phase
+	j.cursor.Store(0)
+	j.wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		parWorkCh <- j
+	}
+	j.run()
+	j.wg.Wait()
+	j.f, j.work = nil, nil
+	parJobPool.Put(j)
 }
 
 // SolveMulti solves A·X = B for k right-hand sides in one traversal of the
@@ -316,6 +480,16 @@ func (f *LDLT) SolveMultiWith(dst, b [][]float64, work []float64) {
 	// block runs a specialized kernel holding the active solutions in
 	// registers — one traversal of the factor's index/value arrays per
 	// block, four fused updates per entry, no inner-loop bounds checks.
+	if f.sym.sn != nil {
+		for lo := 0; lo < k; lo += 4 {
+			hi := lo + 4
+			if hi > k {
+				hi = k
+			}
+			f.solvePanelSN(dst[lo:hi], b[lo:hi], work[:(hi-lo)*n])
+		}
+		return
+	}
 	for lo := 0; lo < k; lo += 4 {
 		hi := lo + 4
 		if hi > k {

@@ -1,0 +1,167 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNDIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, n := range []int{1, 2, 7, 40, 150} {
+		a := randomSparse(rng, n, 0.1)
+		p := NestedDissection(a)
+		if !IsPerm(p) {
+			t.Fatalf("ND on n=%d is not a permutation: %v", n, p)
+		}
+	}
+	// Disconnected graph: two meshes with no coupling.
+	a := blockDiagCSC(meshSPD(9, 9), meshSPD(9, 9))
+	if !IsPerm(NestedDissection(a)) {
+		t.Fatal("ND on a disconnected graph is not a permutation")
+	}
+}
+
+// blockDiagCSC builds diag(blocks...) for ND/schedule tests.
+func blockDiagCSC(blocks ...*CSC) *CSC {
+	n := 0
+	for _, b := range blocks {
+		n += b.Rows
+	}
+	tr := NewTriplet(n, n)
+	off := 0
+	for _, bl := range blocks {
+		for j := 0; j < bl.Cols; j++ {
+			for p := bl.Colptr[j]; p < bl.Colptr[j+1]; p++ {
+				tr.Add(off+bl.Rowidx[p], off+j, bl.Values[p])
+			}
+		}
+		off += bl.Rows
+	}
+	return tr.ToCSC()
+}
+
+// The separator returned by one bisection step must be a valid vertex
+// separator: {A, B, S} partitions the component, both halves are nontrivial
+// and roughly balanced, and no edge connects A to B directly.
+func TestNDSeparatorProperties(t *testing.T) {
+	mesh := meshSPD(24, 24)
+	n := mesh.Rows
+	nd := &ndState{
+		adj:   symPattern(mesh),
+		level: make([]int32, n),
+		inSet: make([]int32, n),
+	}
+	for i := range nd.inSet {
+		nd.inSet[i] = -1
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = i
+	}
+	a, b, sep, ok := nd.split(comp)
+	if !ok {
+		t.Fatal("split failed on a connected 24x24 mesh")
+	}
+	// Valid partition.
+	seen := make([]int, n)
+	for _, v := range a {
+		seen[v]++
+	}
+	for _, v := range b {
+		seen[v]++
+	}
+	for _, v := range sep {
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d appears %d times across {A,B,S}", v, c)
+		}
+	}
+	// Balanced halves: on a uniform mesh the level cut lands near the
+	// middle; require both halves above a quarter of the nodes.
+	if len(a)*4 < n || len(b)*4 < n {
+		t.Fatalf("unbalanced split: |A|=%d |B|=%d |S|=%d of %d", len(a), len(b), len(sep), n)
+	}
+	// A separator on a √n mesh should be O(√n), not a constant fraction.
+	if len(sep) > n/4 {
+		t.Fatalf("separator too large: %d of %d", len(sep), n)
+	}
+	// The separator separates: no A–B edge.
+	side := make([]int8, n)
+	for _, v := range a {
+		side[v] = 1
+	}
+	for _, v := range b {
+		side[v] = 2
+	}
+	for _, v := range a {
+		for _, w := range nd.adj[v] {
+			if side[w] == 2 {
+				t.Fatalf("edge %d–%d crosses the separator", v, w)
+			}
+		}
+	}
+}
+
+// ND must bound fill on the paper's dominant topology: no worse than a
+// small multiple of MinDegree on a 2D mesh, far below natural order.
+func TestNDFillOnMesh(t *testing.T) {
+	a := meshSPD(30, 30)
+	lnz := func(o Ordering) int {
+		sym, err := AnalyzeLDLT(a, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sym.LNZ()
+	}
+	nat, md, nd := lnz(OrderNatural), lnz(OrderMinDegree), lnz(OrderND)
+	if nd >= nat {
+		t.Fatalf("ND fill %d not below natural fill %d", nd, nat)
+	}
+	if nd > 2*md {
+		t.Fatalf("ND fill %d more than 2x MinDegree fill %d", nd, md)
+	}
+	t.Logf("30x30 mesh lnz: natural=%d mindeg=%d nd=%d", nat, md, nd)
+}
+
+// The acceptance property of the ND schedule: on one strongly coupled 2D
+// mesh — where the bandwidth orderings' elimination trees have no usable
+// task cut — the ND separator tree yields independent subtrees and
+// ParallelizableSolve turns true, with parallel and sequential solves
+// agreeing.
+func TestNDParallelizesCoupledMesh(t *testing.T) {
+	a := meshSPD(64, 64)
+	n := a.Rows
+	fRCM, err := FactorLDLT(a, OrderRCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fND, err := FactorLDLT(a, OrderND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fRCM.ParallelizableSolve() {
+		t.Log("RCM unexpectedly parallelizable on the coupled mesh (schedule improved?)")
+	}
+	if !fND.ParallelizableSolve() {
+		sym := fND.Symbolic()
+		t.Fatalf("ND schedule not parallelizable on a coupled 64x64 mesh (lnz=%d, supernodal=%v)", sym.LNZ(), sym.Supernodal())
+	}
+	rng := rand.New(rand.NewSource(71))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	got := make([]float64, n)
+	work := make([]float64, n)
+	fND.Solve(want, b)
+	fND.ParSolveWith(got, b, work, 4)
+	if d := maxRelDiff(got, want); d > 1e-12 {
+		t.Fatalf("ND parallel solve diverges from sequential by %g", d)
+	}
+	if r := residual(a, got, b); r > 1e-8 {
+		t.Fatalf("ND parallel solve residual %g", r)
+	}
+}

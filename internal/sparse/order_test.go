@@ -10,7 +10,7 @@ func TestOrdersArePermutations(t *testing.T) {
 	rng := rand.New(rand.NewSource(30))
 	for _, n := range []int{1, 2, 7, 40} {
 		a := randomSparse(rng, n, 0.2)
-		for _, o := range []Ordering{OrderNatural, OrderRCM, OrderMinDegree} {
+		for _, o := range []Ordering{OrderNatural, OrderRCM, OrderMinDegree, OrderND} {
 			p := Order(a, o)
 			if !IsPerm(p) {
 				t.Fatalf("order %v on n=%d is not a permutation: %v", o, n, p)
@@ -67,8 +67,11 @@ func TestMinDegreeReducesFill(t *testing.T) {
 }
 
 func TestOrderingStrings(t *testing.T) {
-	if OrderNatural.String() != "natural" || OrderRCM.String() != "rcm" || OrderMinDegree.String() != "mindeg" {
+	if OrderNatural.String() != "natural" || OrderRCM.String() != "rcm" || OrderMinDegree.String() != "mindeg" || OrderND.String() != "nd" {
 		t.Error("Ordering.String values changed")
+	}
+	if o, err := ParseOrdering("nd"); err != nil || o != OrderND {
+		t.Errorf("ParseOrdering(nd) = %v, %v", o, err)
 	}
 	if Ordering(99).String() != "unknown" {
 		t.Error("unknown ordering string")

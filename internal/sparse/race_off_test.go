@@ -1,0 +1,8 @@
+//go:build !race
+
+package sparse
+
+// raceEnabled mirrors the race build tag: sync.Pool intentionally drops
+// Puts under the race detector, so pool-backed zero-allocation assertions
+// only hold in regular builds.
+const raceEnabled = false

@@ -1,0 +1,360 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// snScalarPair analyzes one pattern under both numeric engines.
+func snScalarPair(t *testing.T, a *CSC, order Ordering) (snSym, scSym *Symbolic) {
+	t.Helper()
+	snSym, err := AnalyzeLDLTParams(a, order, SupernodeParams{Mode: SNAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snSym.Supernodal() {
+		t.Fatalf("SNAlways analysis is not supernodal (order %v)", order)
+	}
+	scSym, err = AnalyzeLDLTParams(a, order, SupernodeParams{Mode: SNNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scSym.Supernodal() {
+		t.Fatalf("SNNever analysis is supernodal (order %v)", order)
+	}
+	return snSym, scSym
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		scale := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if scale < 1 {
+			scale = 1
+		}
+		if d := math.Abs(a[i]-b[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// The supernodal engine must reproduce the scalar engine to roundoff on the
+// γ-sweep harness (every shift of one pattern, every ordering): same D, same
+// L values at every scalar pattern position, same solves.
+func TestSupernodalMatchesScalarAcrossShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	c, g := shiftFamily(rng, 14)
+	base := Add(1, c, 1e-10, g)
+	n := base.Rows
+	for _, order := range []Ordering{OrderNatural, OrderRCM, OrderMinDegree, OrderND} {
+		snSym, scSym := snScalarPair(t, base, order)
+		var fSN, fSC *LDLT
+		for shift := 0; shift < 10; shift++ {
+			gamma := math.Exp(rng.Float64()*6 - 3)
+			a := Add(1, c, gamma, g)
+			var err error
+			if fSN == nil {
+				if fSN, err = snSym.Refactor(a); err != nil {
+					t.Fatal(err)
+				}
+				if fSC, err = scSym.Refactor(a); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err = snSym.RefactorInto(fSN, a); err != nil {
+					t.Fatal(err)
+				}
+				if err = scSym.RefactorInto(fSC, a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := maxRelDiff(fSN.D(), fSC.D()); d > 1e-14 {
+				t.Fatalf("order %v shift %d: D diverges by %g", order, shift, d)
+			}
+			if d := maxRelDiff(fSN.L().Values, fSC.L().Values); d > 1e-14 {
+				t.Fatalf("order %v shift %d: L diverges by %g", order, shift, d)
+			}
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			x1 := make([]float64, n)
+			x2 := make([]float64, n)
+			fSN.Solve(x1, b)
+			fSC.Solve(x2, b)
+			if d := maxRelDiff(x1, x2); d > 1e-12 {
+				t.Fatalf("order %v shift %d: solves diverge by %g", order, shift, d)
+			}
+			if r := residual(a, x1, b); r > 1e-9 {
+				t.Fatalf("order %v shift %d: supernodal residual %g", order, shift, r)
+			}
+		}
+	}
+}
+
+// Small and irregular patterns exercise panel-width edge cases: every n from
+// 1 up, random patterns, forced supernodal engine.
+func TestSupernodalSmallSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for n := 1; n <= 40; n++ {
+		a := randomSPD(rng, n)
+		snSym, scSym := snScalarPair(t, a, OrderRCM)
+		fSN, err := snSym.Refactor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fSC, err := scSym.Refactor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1 := make([]float64, n)
+		x2 := make([]float64, n)
+		fSN.Solve(x1, b)
+		fSC.Solve(x2, b)
+		if d := maxRelDiff(x1, x2); d > 1e-12 {
+			t.Fatalf("n=%d: engines diverge by %g", n, d)
+		}
+	}
+}
+
+// Narrow panel widths stress the amalgamation bound and the in-panel
+// factorization at every width from 1 (pure scalar layout) to wide.
+func TestSupernodalWidthSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a := meshSPD(12, 12)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, n)
+	sc, err := AnalyzeLDLTParams(a, OrderMinDegree, SupernodeParams{Mode: SNNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsc, err := sc.Refactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsc.Solve(ref, b)
+	for _, w := range []int{1, 2, 3, 5, 8, 17, 64} {
+		sym, err := AnalyzeLDLTParams(a, OrderMinDegree, SupernodeParams{Mode: SNAlways, MaxWidth: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := sym.Refactor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		f.Solve(x, b)
+		if d := maxRelDiff(x, ref); d > 1e-12 {
+			t.Fatalf("width %d: diverges by %g", w, d)
+		}
+	}
+}
+
+// The auto heuristic must pick the supernodal engine on the paper's
+// dominant topology (2D power-grid meshes) and report its decision.
+func TestSupernodalAutoEngagesOnMesh(t *testing.T) {
+	// Nested dissection on a coupled mesh produces wide separator
+	// supernodes — the shape the auto heuristic must hand to the panel
+	// engine.
+	a := meshSPD(48, 48)
+	sym, err := AnalyzeLDLT(a, OrderND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sym.Supernodal() {
+		t.Fatalf("auto heuristic kept the scalar engine on an ND-ordered 48x48 mesh (%d supernodes over %d columns)", sym.Supernodes(), sym.N())
+	}
+	if 2*sym.Supernodes() > sym.N() {
+		t.Fatalf("weak amalgamation: %d supernodes for %d columns", sym.Supernodes(), sym.N())
+	}
+	if got := sym.SupernodeParams(); got != DefaultSupernodeParams().norm() {
+		t.Fatalf("params not normalized defaults: %+v", got)
+	}
+	// A tiny system stays scalar under auto even though SNAlways would
+	// build panels for it.
+	small, err := AnalyzeLDLT(meshSPD(4, 4), OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Supernodal() {
+		t.Fatal("auto heuristic built panels for a 16-node system")
+	}
+}
+
+// Singular inputs must fail identically under both engines.
+func TestSupernodalSingular(t *testing.T) {
+	n := 40
+	tr := NewTriplet(n, n)
+	for i := 0; i < n-1; i++ {
+		tr.Add(i, i+1, -1)
+		tr.Add(i+1, i, -1)
+		tr.Add(i, i, 1)
+		tr.Add(i+1, i+1, 1)
+	}
+	a := tr.ToCSC()
+	sym, err := AnalyzeLDLTParams(a, OrderNatural, SupernodeParams{Mode: SNAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sym.Refactor(a); err == nil {
+		t.Fatal("supernodal engine factored a singular Laplacian")
+	}
+}
+
+// The parallel and multi-RHS supernodal solves must agree with the
+// sequential path under concurrent hammering: 16 goroutines mixing
+// ParSolveWith, SolveWith and SolveMulti against one shared factor.
+func TestSupernodalParSolveRace(t *testing.T) {
+	a := multiDomainSPD(40, 4)
+	n := a.Rows
+	sym, err := AnalyzeLDLTParams(a, OrderMinDegree, SupernodeParams{Mode: SNAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sym.Refactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.ParallelizableSolve() {
+		t.Fatalf("4-domain mesh not parallelizable under supernodal schedule (lnz=%d tasks=%d)", sym.LNZ(), len(sym.sn.taskPtr)-1)
+	}
+	rng := rand.New(rand.NewSource(63))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	f.Solve(want, b)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := make([]float64, n)
+			work := make([]float64, n)
+			for it := 0; it < 25; it++ {
+				switch (g + it) % 3 {
+				case 0:
+					f.ParSolveWith(x, b, work, 4)
+				case 1:
+					f.SolveWith(x, b, work)
+				default:
+					dst := [][]float64{x}
+					src := [][]float64{b}
+					f.SolveMulti(dst, src)
+				}
+				if d := maxRelDiff(x, want); d > 1e-12 {
+					errs <- "concurrent solve diverged"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// Supernodal multi-RHS panels of every width must match independent solves.
+func TestSupernodalSolveMultiWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	a := meshSPD(13, 11)
+	n := a.Rows
+	sym, err := AnalyzeLDLTParams(a, OrderRCM, SupernodeParams{Mode: SNAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sym.Refactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 4, 5, 8, 9} {
+		b := make([][]float64, k)
+		dst := make([][]float64, k)
+		want := make([][]float64, k)
+		for r := 0; r < k; r++ {
+			b[r] = make([]float64, n)
+			for i := range b[r] {
+				b[r][i] = rng.NormFloat64()
+			}
+			dst[r] = make([]float64, n)
+			want[r] = make([]float64, n)
+			f.Solve(want[r], b[r])
+		}
+		f.SolveMulti(dst, b)
+		for r := 0; r < k; r++ {
+			if d := maxRelDiff(dst[r], want[r]); d > 1e-12 {
+				t.Fatalf("k=%d rhs %d: panel solve diverges by %g", k, r, d)
+			}
+		}
+	}
+}
+
+// The supernodal refactorization and solves must stay allocation-free, the
+// PR 4 guarantee carried over to the blocked engine — including the
+// parallel fan-out, whose 405 B/op goroutine spawning this PR removed.
+func TestSupernodalZeroAllocs(t *testing.T) {
+	a := multiDomainSPD(40, 4)
+	n := a.Rows
+	sym, err := AnalyzeLDLTParams(a, OrderMinDegree, SupernodeParams{Mode: SNAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sym.Refactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.ParallelizableSolve() {
+		t.Fatal("expected parallelizable supernodal factor")
+	}
+	b := make([]float64, n)
+	x := make([]float64, n)
+	work := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := sym.RefactorInto(f, a); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("supernodal RefactorInto allocates %v/op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		f.SolveWith(x, b, work)
+	}); allocs != 0 {
+		t.Errorf("supernodal SolveWith allocates %v/op", allocs)
+	}
+	if !raceEnabled {
+		// The fan-out's job and task-buffer pools intentionally leak under
+		// the race detector (sync.Pool drops Puts there).
+		if allocs := testing.AllocsPerRun(50, func() {
+			f.ParSolveWith(x, b, work, 4)
+		}); allocs != 0 {
+			t.Errorf("supernodal ParSolveWith allocates %v/op", allocs)
+		}
+	}
+	mw := make([]float64, 4*n)
+	dst := [][]float64{x, x, x, x}
+	src := [][]float64{b, b, b, b}
+	if allocs := testing.AllocsPerRun(50, func() {
+		f.SolveMultiWith(dst, src, mw)
+	}); allocs != 0 {
+		t.Errorf("supernodal SolveMultiWith allocates %v/op", allocs)
+	}
+}

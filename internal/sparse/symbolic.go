@@ -80,6 +80,13 @@ type Symbolic struct {
 	// goes parallel only when the task share dominates.
 	parWork, tailWork int
 
+	// Supernodal layout (supernodal.go): non-nil when the blocked panel
+	// engine serves this pattern, nil when the scalar up-looking engine
+	// does. params records the detection/amalgamation parameters either way
+	// (they are part of the analysis identity for cache keying).
+	sn     *snLayout
+	params SupernodeParams
+
 	patFP uint64 // PatternFingerprint of the analyzed matrix
 }
 
@@ -102,7 +109,7 @@ func (s *Symbolic) Levels() int {
 
 // Bytes estimates the resident size of the analysis, for cache accounting.
 func (s *Symbolic) Bytes() int64 {
-	return int64(s.n)*40 + int64(s.lnz)*16 + int64(len(s.aSrc))*8
+	return int64(s.n)*40 + int64(s.lnz)*16 + int64(len(s.aSrc))*8 + s.sn.bytes()
 }
 
 // PatternFingerprint hashes the sparsity pattern of a — dimensions, column
@@ -126,76 +133,45 @@ func PatternFingerprint(a *CSC) uint64 {
 
 // AnalyzeLDLT performs the symbolic analysis of the symmetric matrix a under
 // the given ordering: ordering, elimination tree, exact column counts and
-// static pattern of L, the input scatter map, and the parallel-solve task
-// schedule. Only the pattern of a is read. The result serves any matrix
+// static pattern of L, supernode detection with relaxed amalgamation (under
+// the default SupernodeParams), the input scatter map, and the parallel-solve
+// task schedule. Only the pattern of a is read. The result serves any matrix
 // with the same pattern through Refactor.
 func AnalyzeLDLT(a *CSC, order Ordering) (*Symbolic, error) {
+	return AnalyzeLDLTParams(a, order, DefaultSupernodeParams())
+}
+
+// AnalyzeLDLTParams is AnalyzeLDLT with explicit supernode detection and
+// amalgamation parameters (engine forcing, panel width, relaxation bound).
+func AnalyzeLDLTParams(a *CSC, order Ordering, params SupernodeParams) (*Symbolic, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("sparse: AnalyzeLDLT needs a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Cols
-	s := &Symbolic{n: n, patFP: PatternFingerprint(a)}
+	s := &Symbolic{n: n, patFP: PatternFingerprint(a), params: params.norm()}
 	s.perm = Order(a, order)
 	s.pinv = InversePerm(s.perm)
+	s.buildScatterMap(a)
+	s.buildEtree()
 
-	// Scatter map: the upper triangle (incl. diagonal) of the permuted
-	// matrix, column by column, without materializing the permuted matrix.
-	// Entry p of original column j = perm-column pinv[j] lands on permuted
-	// row pinv[i]; symmetric input means scanning whole original columns
-	// finds every upper-triangle entry exactly once.
-	cnt := make([]int, n+1)
-	for j := 0; j < n; j++ {
-		k := s.pinv[j]
-		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
-			if s.pinv[a.Rowidx[p]] <= k {
-				cnt[k+1]++
-			}
+	// Compose the ordering with a postorder of its elimination tree. Any
+	// topological relabeling of the etree is fill-equivalent (same lnz, an
+	// isomorphic pattern), and a postorder additionally makes every subtree
+	// — hence every fundamental supernode chain — contiguous in column
+	// order, which is what the supernode detection and relaxed amalgamation
+	// walk. Without it, orderings like minimum degree scatter parent chains
+	// across the column range and the panels degenerate to singletons.
+	if post := postorder(s.parent); post != nil {
+		newPerm := make([]int, n)
+		for q, old := range post {
+			newPerm[q] = s.perm[old]
 		}
+		s.perm = newPerm
+		s.pinv = InversePerm(s.perm)
+		s.buildScatterMap(a)
+		s.buildEtree()
 	}
-	for k := 0; k < n; k++ {
-		cnt[k+1] += cnt[k]
-	}
-	s.aColptr = cnt
-	nnzU := cnt[n]
-	s.aSrc = make([]int32, nnzU)
-	s.aRow = make([]int32, nnzU)
 	next := make([]int, n)
-	for k := 0; k < n; k++ {
-		next[k] = s.aColptr[k]
-	}
-	for j := 0; j < n; j++ {
-		k := s.pinv[j]
-		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
-			i := s.pinv[a.Rowidx[p]]
-			if i <= k {
-				q := next[k]
-				next[k]++
-				s.aSrc[q] = int32(p)
-				s.aRow[q] = int32(i)
-			}
-		}
-	}
-
-	// Elimination tree over the permuted upper triangle (path compression
-	// via virtual ancestors).
-	parent := make([]int32, n)
-	ancestor := make([]int32, n)
-	for k := 0; k < n; k++ {
-		parent[k] = -1
-		ancestor[k] = -1
-		for p := s.aColptr[k]; p < s.aColptr[k+1]; p++ {
-			i := s.aRow[p]
-			for i != -1 && int(i) < k {
-				nxt := ancestor[i]
-				ancestor[i] = int32(k)
-				if nxt == -1 {
-					parent[i] = int32(k)
-				}
-				i = nxt
-			}
-		}
-	}
-	s.parent = parent
 
 	// Exact per-column counts: one reach pass counting, one filling. Each
 	// pass costs O(lnz) total — the reach of row k lists exactly the columns
@@ -245,7 +221,125 @@ func AnalyzeLDLT(a *CSC, order Ordering) (*Symbolic, error) {
 	}
 
 	s.buildTasks()
+	s.buildSupernodes(s.params)
 	return s, nil
+}
+
+// buildScatterMap computes the scatter map: the upper triangle (incl.
+// diagonal) of the permuted matrix, column by column, without materializing
+// the permuted matrix. Entry p of original column j = perm-column pinv[j]
+// lands on permuted row pinv[i]; symmetric input means scanning whole
+// original columns finds every upper-triangle entry exactly once.
+func (s *Symbolic) buildScatterMap(a *CSC) {
+	n := s.n
+	cnt := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		k := s.pinv[j]
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			if s.pinv[a.Rowidx[p]] <= k {
+				cnt[k+1]++
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		cnt[k+1] += cnt[k]
+	}
+	s.aColptr = cnt
+	nnzU := cnt[n]
+	s.aSrc = make([]int32, nnzU)
+	s.aRow = make([]int32, nnzU)
+	next := make([]int, n)
+	for k := 0; k < n; k++ {
+		next[k] = s.aColptr[k]
+	}
+	for j := 0; j < n; j++ {
+		k := s.pinv[j]
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := s.pinv[a.Rowidx[p]]
+			if i <= k {
+				q := next[k]
+				next[k]++
+				s.aSrc[q] = int32(p)
+				s.aRow[q] = int32(i)
+			}
+		}
+	}
+}
+
+// buildEtree computes the elimination tree over the permuted upper triangle
+// (path compression via virtual ancestors).
+func (s *Symbolic) buildEtree() {
+	n := s.n
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		ancestor[k] = -1
+		for p := s.aColptr[k]; p < s.aColptr[k+1]; p++ {
+			i := s.aRow[p]
+			for i != -1 && int(i) < k {
+				nxt := ancestor[i]
+				ancestor[i] = int32(k)
+				if nxt == -1 {
+					parent[i] = int32(k)
+				}
+				i = nxt
+			}
+		}
+	}
+	s.parent = parent
+}
+
+// postorder computes a depth-first postorder of the forest (children before
+// parents, each subtree contiguous), returning nil when the forest is
+// already postordered — the common case for orderings that emit elimination
+// order directly. post[q] is the old index assigned new position q.
+func postorder(parent []int32) []int32 {
+	n := len(parent)
+	// Child lists, built in reverse so each node's children pop in
+	// ascending order (a stable relabeling).
+	head := make([]int32, n)
+	nextSib := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	for j := n - 1; j >= 0; j-- {
+		p := parent[j]
+		if p == -1 {
+			continue
+		}
+		nextSib[j] = head[p]
+		head[p] = int32(j)
+	}
+	post := make([]int32, 0, n)
+	stack := make([]int32, 0, 64)
+	for r := 0; r < n; r++ {
+		if parent[r] != -1 {
+			continue
+		}
+		stack = append(stack, int32(r))
+		for len(stack) > 0 {
+			j := stack[len(stack)-1]
+			if c := head[j]; c != -1 {
+				head[j] = nextSib[c] // defer j until its children are out
+				stack = append(stack, c)
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			post = append(post, j)
+		}
+	}
+	identity := true
+	for q, old := range post {
+		if int(old) != q {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return nil
+	}
+	return post
 }
 
 // levelSchedules builds the forward/backward level sets on first use (they
@@ -254,32 +348,45 @@ func (s *Symbolic) levelSchedules() {
 	s.levOnce.Do(s.buildLevels)
 }
 
-// buildTasks cuts the elimination tree into the task/tail execution
-// schedule: a node roots a task when its subtree work fits the chunk bound
-// but its parent's does not. Children precede parents in index order
-// (parent[k] > k), so subtree sums and top-down task assignment are both
-// single passes.
+// buildTasks cuts the elimination tree into the scalar task/tail execution
+// schedule, row-width weighted.
 func (s *Symbolic) buildTasks() {
-	n := s.n
+	cost := make([]int64, s.n)
+	for k := 0; k < s.n; k++ {
+		cost[k] = int64(s.rowptr[k+1] - s.rowptr[k])
+	}
+	var parW, tailW int64
+	s.taskPtr, s.taskRows, s.tailRows, parW, tailW = cutTasks(s.parent, cost)
+	s.parWork, s.tailWork = int(parW), int(tailW)
+}
+
+// cutTasks cuts a forest (parent[k] > k or -1) into the task/tail execution
+// schedule driving the parallel solves: a node roots a task when its subtree
+// work fits the chunk bound but its parent's does not; nodes above every cut
+// form the sequential separator tail. Children precede parents in index
+// order, so subtree sums and top-down task assignment are both single
+// passes. Shared by the scalar (per-row, row-width cost) and supernodal
+// (per-supernode, panel-entry cost) schedules.
+//
+// Chunk bound selection: small chunks balance load, large chunks pull the
+// cut toward the root and shrink the sequential tail. The bound escalates
+// until the tail is below a quarter of the work with at least two
+// independent tasks; a pattern where no bound achieves that (e.g. one
+// strongly coupled mesh whose root separators hold most of the work) has no
+// exploitable solve parallelism, and the empty schedule makes
+// ParallelizableSolve report false.
+func cutTasks(parent []int32, cost []int64) (taskPtr []int, taskNodes, tailNodes []int32, parWork, tailWork int64) {
+	n := len(parent)
 	work := make([]int64, n)
-	for k := 0; k < n; k++ {
-		work[k] = int64(s.rowptr[k+1]-s.rowptr[k]) + 1
-	}
-	for k := 0; k < n; k++ {
-		if p := s.parent[k]; p != -1 {
-			work[p] += work[k]
-		}
-	}
-	// Chunk bound selection: small chunks balance load, large chunks pull
-	// the cut toward the root and shrink the sequential separator tail.
-	// Escalate the bound until the tail is below a quarter of the work with
-	// at least two independent tasks; a pattern where no bound achieves
-	// that (e.g. one strongly coupled mesh whose root separators hold most
-	// of the fill) has no exploitable solve parallelism, and the empty
-	// schedule makes ParallelizableSolve report false.
 	total := int64(0)
 	for k := 0; k < n; k++ {
-		total += int64(s.rowptr[k+1] - s.rowptr[k])
+		work[k] = cost[k] + 1
+		total += cost[k]
+	}
+	for k := 0; k < n; k++ {
+		if p := parent[k]; p != -1 {
+			work[p] += work[k]
+		}
 	}
 	chunkMax := int64(-1)
 	for _, div := range []int64{32, 16, 8, 4, 2, 1} {
@@ -291,8 +398,8 @@ func (s *Symbolic) buildTasks() {
 		tasks := 0
 		for k := 0; k < n; k++ {
 			if work[k] > c {
-				tail += int64(s.rowptr[k+1] - s.rowptr[k])
-			} else if p := s.parent[k]; p == -1 || work[p] > c {
+				tail += cost[k]
+			} else if p := parent[k]; p == -1 || work[p] > c {
 				tasks++
 			}
 		}
@@ -302,16 +409,14 @@ func (s *Symbolic) buildTasks() {
 		}
 	}
 	if chunkMax < 0 {
-		s.taskPtr = []int{0}
-		s.tailWork = int(total)
-		return
+		return []int{0}, nil, nil, 0, total
 	}
 	// taskOf[k] = index of k's task root, or -1 for the tail. Parents have
 	// larger indices, so descending k sees the parent's assignment first.
 	taskOf := make([]int32, n)
 	var roots []int32
 	for k := n - 1; k >= 0; k-- {
-		p := s.parent[k]
+		p := parent[k]
 		if p != -1 && taskOf[p] != -1 {
 			taskOf[k] = taskOf[p] // inside an ancestor's task subtree
 			continue
@@ -323,30 +428,31 @@ func (s *Symbolic) buildTasks() {
 			taskOf[k] = -1
 		}
 	}
-	s.taskPtr = make([]int, len(roots)+1)
+	taskPtr = make([]int, len(roots)+1)
 	for k := 0; k < n; k++ {
 		if t := taskOf[k]; t != -1 {
-			s.taskPtr[t+1]++
-			s.parWork += s.rowptr[k+1] - s.rowptr[k]
+			taskPtr[t+1]++
+			parWork += cost[k]
 		} else {
-			s.tailWork += s.rowptr[k+1] - s.rowptr[k]
+			tailWork += cost[k]
 		}
 	}
 	for t := 0; t < len(roots); t++ {
-		s.taskPtr[t+1] += s.taskPtr[t]
+		taskPtr[t+1] += taskPtr[t]
 	}
-	s.taskRows = make([]int32, s.taskPtr[len(roots)])
-	s.tailRows = make([]int32, 0, n-len(s.taskRows))
+	taskNodes = make([]int32, taskPtr[len(roots)])
+	tailNodes = make([]int32, 0, n-len(taskNodes))
 	next := make([]int, len(roots))
-	copy(next, s.taskPtr[:len(roots)])
+	copy(next, taskPtr[:len(roots)])
 	for k := 0; k < n; k++ {
 		if t := taskOf[k]; t != -1 {
-			s.taskRows[next[t]] = int32(k)
+			taskNodes[next[t]] = int32(k)
 			next[t]++
 		} else {
-			s.tailRows = append(s.tailRows, int32(k))
+			tailNodes = append(tailNodes, int32(k))
 		}
 	}
+	return taskPtr, taskNodes, tailNodes, parWork, tailWork
 }
 
 // reach computes the nonzero pattern of row k of L — the nodes reachable
@@ -455,16 +561,21 @@ func bucketLevels(lev []int32, nlev int) ([]int, []int32) {
 }
 
 // Refactor numerically factorizes a — any matrix with the analyzed pattern —
-// into a fresh LDLT. The factor's value arrays are the only allocations;
-// repeated refactorization into an existing factor (RefactorInto) allocates
-// nothing.
+// into a fresh LDLT. The factor's value arrays and workspaces are the only
+// allocations; repeated refactorization into an existing factor
+// (RefactorInto) allocates nothing.
 func (s *Symbolic) Refactor(a *CSC) (*LDLT, error) {
-	f := &LDLT{
-		sym:     s,
-		values:  make([]float64, s.lnz),
-		valuesR: make([]float64, s.lnz),
-		d:       make([]float64, s.n),
-		y:       make([]float64, s.n),
+	f := &LDLT{sym: s, d: make([]float64, s.n)}
+	if s.sn != nil {
+		f.snValues = make([]float64, s.sn.nzTotal)
+		f.smap = make([]int32, s.n)
+		f.uptmp = make([]float64, s.sn.maxRows)
+		f.coeff = make([]float64, s.sn.maxW)
+		f.gbuf = make([]float64, 4*s.sn.maxRows)
+	} else {
+		f.values = make([]float64, s.lnz)
+		f.valuesR = make([]float64, s.lnz)
+		f.y = make([]float64, s.n)
 	}
 	if err := s.RefactorInto(f, a); err != nil {
 		return nil, err
@@ -474,9 +585,11 @@ func (s *Symbolic) Refactor(a *CSC) (*LDLT, error) {
 
 // RefactorInto refills an existing factor (previously produced by Refactor
 // against this same analysis) with the values of a. It performs the
-// up-looking elimination over the static pattern: no appends, no reach
-// recomputation, no heap allocation. It returns ErrSingular on a zero pivot,
-// leaving the factor contents unspecified.
+// supernodal left-looking panel factorization when the analysis carries a
+// supernodal layout, the scalar up-looking elimination over the static
+// pattern otherwise: no appends, no reach recomputation, no heap allocation
+// either way. It returns ErrSingular on a zero pivot, leaving the factor
+// contents unspecified. Must not race with solves on the same factor.
 func (s *Symbolic) RefactorInto(f *LDLT, a *CSC) error {
 	if f.sym != s {
 		return fmt.Errorf("sparse: RefactorInto factor belongs to a different analysis")
@@ -485,6 +598,9 @@ func (s *Symbolic) RefactorInto(f *LDLT, a *CSC) error {
 	// key Symbolic lookups by PatternFingerprint).
 	if a.Rows != s.n || a.Cols != s.n {
 		return fmt.Errorf("sparse: RefactorInto dimension mismatch: analysis %d, matrix %dx%d", s.n, a.Rows, a.Cols)
+	}
+	if s.sn != nil {
+		return s.refactorSN(f, a)
 	}
 	values, valuesR, d, y := f.values, f.valuesR, f.d, f.y
 	av := a.Values

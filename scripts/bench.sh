@@ -4,23 +4,26 @@
 # B/op, allocs/op, custom metrics).
 #
 # Usage:
-#   scripts/bench.sh [out.json]          # default out: BENCH_PR4.json
+#   scripts/bench.sh [out.json]          # default out: BENCH_PR6.json
 #   BENCHTIME=200x scripts/bench.sh      # longer runs for stable numbers
 #   BENCH_PATTERN='^Benchmark' scripts/bench.sh all.json   # whole suite
 #
 # CI runs this with a short BENCHTIME and uploads the JSON as an artifact;
-# the committed BENCH_PR4.json is regenerated manually with the default
+# the committed BENCH_PR6.json is regenerated manually with the default
 # settings when the solver layer changes. The default pattern covers the
-# Krylov spot pipeline (PR 3) and the factorization engine rows (PR 4):
+# Krylov spot pipeline (PR 3) and the factorization engine rows (PR 4-6):
 # BenchmarkFactor vs BenchmarkRefactor is the symbolic/numeric split,
-# BenchmarkSolveSeq_k* vs BenchmarkSolveMulti_k* the blocked panel solves,
-# BenchmarkSolveSeq/Par_4dom the level-scheduled parallel solve.
+# BenchmarkRefactorScalar/SolveSeqScalar pin the scalar engine against the
+# supernodal default, BenchmarkSolveSeq_k* vs BenchmarkSolveMulti_k* the
+# blocked panel solves, BenchmarkSolveSeq/Par_4dom the task-parallel solve
+# on separate domains, and BenchmarkSolveSeq/Par_mesh96nd the coupled mesh
+# that only nested dissection can parallelize.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR6.json}"
 benchtime="${BENCHTIME:-100x}"
-pattern="${BENCH_PATTERN:-^Benchmark(Krylov|Factor_|Refactor_|SolveSeq_|SolvePar_|SolveMulti_)}"
+pattern="${BENCH_PATTERN:-^Benchmark(Krylov|Factor_|Refactor|SolveSeq|SolvePar|SolveMulti)}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	go run ./scripts/benchcmp -base BENCH_PR4.json -new bench-ci.json \
-//	    -rows '^Benchmark(Factor_|Refactor_|Solve)' -max-ratio 2.5
+//	go run ./scripts/benchcmp -base BENCH_PR6.json -new bench-ci.json \
+//	    -rows '^Benchmark(Factor_|Refactor|Solve)' -max-ratio 2.5
 //
 // It prints a Markdown comparison table (pipe it into
 // "$GITHUB_STEP_SUMMARY" for the job summary) and exits non-zero on a
@@ -21,6 +21,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 type benchFile struct {
@@ -51,10 +52,11 @@ func load(path string) (map[string]float64, string, error) {
 }
 
 func main() {
-	basePath := flag.String("base", "BENCH_PR4.json", "committed baseline JSON")
+	basePath := flag.String("base", "BENCH_PR6.json", "committed baseline JSON")
 	newPath := flag.String("new", "bench-ci.json", "freshly measured JSON")
-	rowsPat := flag.String("rows", "^Benchmark(Factor_|Refactor_|SolvePar_|SolveSeq_|SolveMulti_)", "regexp selecting the gated rows")
+	rowsPat := flag.String("rows", "^Benchmark(Factor_|Refactor|SolvePar|SolveSeq|SolveMulti)", "regexp selecting the gated rows")
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail when new/base ns/op exceeds this on any gated row")
+	parMaxRatio := flag.Float64("par-max-ratio", 1.15, "fail when a fresh SolvePar_* row is slower than its SolveSeq_* twin past this factor (small headroom for CI jitter; a broken task schedule blows well past it)")
 	flag.Parse()
 
 	sel, err := regexp.Compile(*rowsPat)
@@ -121,7 +123,44 @@ func main() {
 		fmt.Printf("| %s | %.0f | %.0f | %.2fx | no | — |\n", name, base[name], n, n/base[name])
 	}
 
+	// Parallel-solve sanity gate: every fresh SolvePar_<shape> row must not
+	// be slower than its SolveSeq_<shape> twin. A parallel path that loses
+	// to sequential means the fallback heuristic broke, not that the
+	// machine is slow, so this gate checks the fresh run against itself.
+	parFailed := 0
+	var parNames []string
+	for name := range fresh {
+		if strings.HasPrefix(name, "BenchmarkSolvePar_") {
+			parNames = append(parNames, name)
+		}
+	}
+	sort.Strings(parNames)
+	if len(parNames) > 0 {
+		fmt.Printf("\n### Parallel vs sequential solve (fresh run, gate: par ≤ %.2fx seq)\n\n", *parMaxRatio)
+		fmt.Printf("| shape | seq ns/op | par ns/op | ratio | status |\n")
+		fmt.Printf("|---|---:|---:|---:|:-:|\n")
+		for _, name := range parNames {
+			shape := strings.TrimPrefix(name, "BenchmarkSolvePar_")
+			seq, ok := fresh["BenchmarkSolveSeq_"+shape]
+			if !ok {
+				continue
+			}
+			par := fresh[name]
+			ratio := par / seq
+			status := ":white_check_mark:"
+			if ratio > *parMaxRatio {
+				status = ":x:"
+				parFailed++
+			}
+			fmt.Printf("| %s | %.0f | %.0f | %.2fx | %s |\n", shape, seq, par, ratio, status)
+		}
+	}
+
 	fmt.Println()
+	if parFailed > 0 {
+		fmt.Printf("**FAIL**: %d parallel-solve row(s) slower than sequential past %.2fx.\n", parFailed, *parMaxRatio)
+		os.Exit(1)
+	}
 	if failed > 0 || missing > 0 {
 		fmt.Printf("**FAIL**: %d row(s) past %.2fx, %d missing from the fresh run.\n", failed, *maxRatio, missing)
 		os.Exit(1)
