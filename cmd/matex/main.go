@@ -72,7 +72,9 @@ func main() {
 		fatal(err)
 	}
 	deck, err := netlist.Parse(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -43,7 +43,9 @@ func main() {
 	if err := netlist.Write(w, deck); err != nil {
 		fatal(err)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

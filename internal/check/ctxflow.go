@@ -1,0 +1,138 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The ctxflow analyzer enforces context threading in the serving tier
+// (internal/serve and internal/dist):
+//
+//  1. No context.Background() or context.TODO() calls outside functions
+//     annotated //matex:ctx-root(reason) — request paths must derive their
+//     contexts from a caller-provided one.
+//  2. Exported functions whose bodies block directly (channel sends and
+//     receives, selects without a default clause, Wait/Accept calls) must
+//     accept a context.Context parameter or carry
+//     //matex:ctx-exempt(reason). Blocking inside nested function literals
+//     (worker goroutines) does not count against the enclosing function.
+func runCtxFlow(pkg *Pkg, ann *annotations, report func(pos token.Pos, analyzer, msg string)) {
+	if !ctxFlowScope(pkg.RelPath) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxRoots(pkg, ann, fd, report)
+			if fd.Name.IsExported() && !ann.funcHas(fd, dirCtxExempt) {
+				if pos, what := firstBlockingOp(fd.Body); pos.IsValid() && !hasCtxParam(pkg, fd) {
+					report(fd.Pos(), "ctxflow",
+						fmt.Sprintf("exported %s blocks (%s) but has no context.Context parameter", fd.Name.Name, what))
+				}
+			}
+		}
+	}
+}
+
+// ctxFlowScope reports whether the package (by module-relative path) is in
+// the serving tier the analyzer covers.
+func ctxFlowScope(relPath string) bool {
+	return relPath == "internal/serve" || relPath == "internal/dist"
+}
+
+// checkCtxRoots flags context.Background()/TODO() calls in non-ctx-root
+// functions.
+func checkCtxRoots(pkg *Pkg, ann *annotations, fd *ast.FuncDecl, report func(pos token.Pos, analyzer, msg string)) {
+	isRoot := ann.funcHas(fd, dirCtxRoot)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name == "Background" || name == "TODO" {
+			if !isRoot && !ann.lineHas(call.Pos(), dirCtxRoot) {
+				report(call.Pos(), "ctxflow",
+					fmt.Sprintf("context.%s() in %s: thread a caller context or annotate //matex:ctx-root(reason)", name, fd.Name.Name))
+			}
+		}
+		return true
+	})
+}
+
+// firstBlockingOp returns the position and description of the first
+// directly-blocking operation in a function body, skipping nested function
+// literals.
+func firstBlockingOp(body *ast.BlockStmt) (token.Pos, string) {
+	var pos token.Pos
+	what := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, what = n.Pos(), "channel receive"
+			}
+		case *ast.SendStmt:
+			pos, what = n.Pos(), "channel send"
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				return false // non-blocking poll; don't descend into comms
+			}
+			pos, what = n.Pos(), "select without default"
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if name := sel.Sel.Name; name == "Wait" || name == "Accept" {
+					pos, what = n.Pos(), name+" call"
+				}
+			}
+		}
+		return !pos.IsValid()
+	})
+	return pos, what
+}
+
+// hasCtxParam reports whether any parameter of the function has type
+// context.Context.
+func hasCtxParam(pkg *Pkg, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one loaded, parsed, and type-checked package of the module.
+type Pkg struct {
+	Dir     string // absolute directory
+	RelPath string // slash-separated path relative to the module root ("" for root)
+	Path    string // full import path
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader loads module packages with stdlib go/* machinery only: files are
+// selected through go/build (so build-tag-gated files like the matexdebug
+// layer resolve exactly as `go build` would), module-internal imports map
+// onto repository directories, and standard-library imports go through the
+// source importer. Packages are memoized by import path, so the whole tree
+// type-checks each package once.
+type Loader struct {
+	RootDir string // absolute module root (directory containing go.mod)
+	ModPath string // module path from go.mod
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Pkg // by import path
+}
+
+// NewLoader locates the module root at or above dir and prepares a loader.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("check: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("check: no module directive in %s/go.mod", root)
+	}
+	return NewLoaderAt(root, modPath), nil
+}
+
+// NewLoaderAt prepares a loader with an explicit root directory and module
+// path, without consulting go.mod. The analyzer fixture tests use this to
+// treat a testdata tree as its own miniature module.
+func NewLoaderAt(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		RootDir: root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Pkg{},
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadPatterns resolves the given patterns — "./...", "...", or directory
+// paths relative to the module root — into loaded packages, sorted by
+// import path.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Pkg, error) {
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...":
+			dirs, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				dirSet[d] = true
+			}
+		default:
+			pat = strings.TrimPrefix(pat, "./")
+			dirSet[filepath.Join(l.RootDir, filepath.FromSlash(pat))] = true
+		}
+	}
+	var pkgs []*Pkg
+	for dir := range dirSet {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// walkModule lists every directory under the module root that may hold a Go
+// package, applying the go tool's skip rules (testdata, vendor, hidden and
+// underscore-prefixed directories).
+func (l *Loader) walkModule() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.RootDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.RootDir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// LoadDir loads, parses, and type-checks the package in dir (memoized).
+func (l *Loader) LoadDir(dir string) (*Pkg, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.RootDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("check: %s is outside the module root %s", dir, l.RootDir)
+	}
+	relSlash := filepath.ToSlash(rel)
+	if relSlash == "." {
+		relSlash = ""
+	}
+	importPath := l.ModPath
+	if relSlash != "" {
+		importPath = l.ModPath + "/" + relSlash
+	}
+	return l.load(importPath, abs, relSlash)
+}
+
+func (l *Loader) load(importPath, dir, relSlash string) (*Pkg, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("check: import cycle through %s", importPath)
+		}
+		return p, nil
+	}
+	l.pkgs[importPath] = nil // cycle marker
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		delete(l.pkgs, importPath)
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			delete(l.pkgs, importPath)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		delete(l.pkgs, importPath)
+		return nil, fmt.Errorf("check: type-checking %s: %w", importPath, err)
+	}
+	p := &Pkg{Dir: dir, RelPath: relSlash, Path: importPath, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// loaderImporter resolves module-internal import paths to repository
+// directories and delegates everything else to the source importer.
+type loaderImporter Loader
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, im.RootDir, 0)
+}
+
+func (im *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(im)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		p, err := l.load(path, filepath.Join(l.RootDir, filepath.FromSlash(rel)), rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,310 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The noalloc analyzer enforces //matex:noalloc: an annotated function must
+// not execute allocating constructs. Construct checks are intra-procedural;
+// call sites are resolved through go/types and handled by trust class:
+// same-package callees that are themselves annotated are trusted (they are
+// verified independently), unannotated same-package callees are scanned
+// recursively (memoized, cycle-tolerant), module-internal cross-package and
+// standard-library callees are trusted except the banned allocating
+// packages (fmt, errors). Individual findings are waived line-by-line with
+// //matex:alloc-ok(reason) — the waiver is honored inside recursively
+// scanned callees too, so grow-path helpers need only the line waiver.
+
+// bannedCallPkgs are packages whose every call is an allocation (or worse,
+// formatting) and must never appear in a hot path.
+var bannedCallPkgs = map[string]bool{"fmt": true, "errors": true}
+
+const maxVerifyDepth = 20
+
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+type noallocChecker struct {
+	pkg     *Pkg
+	ann     *annotations
+	report  func(pos token.Pos, analyzer, msg string)
+	modPath string
+	decls   map[*types.Func]*ast.FuncDecl
+	// verdicts memoizes the unwaived allocation sites of unannotated
+	// same-package functions; inProgress breaks recursion cycles.
+	verdicts   map[*types.Func][]allocSite
+	inProgress map[*types.Func]bool
+}
+
+func runNoalloc(pkg *Pkg, ann *annotations, report func(pos token.Pos, analyzer, msg string)) {
+	c := &noallocChecker{
+		pkg:        pkg,
+		ann:        ann,
+		report:     report,
+		modPath:    strings.TrimSuffix(pkg.Path, "/"+pkg.RelPath),
+		decls:      map[*types.Func]*ast.FuncDecl{},
+		verdicts:   map[*types.Func][]allocSite{},
+		inProgress: map[*types.Func]bool{},
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					c.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !ann.funcHas(fd, dirNoalloc) {
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			for _, s := range c.scanFunc(fd, 0) {
+				report(s.pos, "noalloc", s.what)
+			}
+		}
+	}
+}
+
+// scanFunc returns the unwaived allocation sites of one function body.
+func (c *noallocChecker) scanFunc(fd *ast.FuncDecl, depth int) []allocSite {
+	var sites []allocSite
+	add := func(pos token.Pos, format string, args ...any) {
+		if !c.ann.lineHas(pos, dirAllocOK) {
+			sites = append(sites, allocSite{pos, fmt.Sprintf(format, args...)})
+		}
+	}
+	info := c.pkg.Info
+	// calledFuns records expressions used as call targets, so method-value
+	// selectors (which allocate a bound-method closure) can be told apart
+	// from plain method calls.
+	calledFuns := map[ast.Expr]bool{}
+	// valueLits records struct/array composite literals assigned by value
+	// directly to variables: those have stack semantics and do not allocate
+	// (slice and map literals always do, and &T{} escapes analysis here).
+	valueLits := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			if cl, ok := rhs.(*ast.CompositeLit); ok {
+				if tv, ok := info.Types[cl]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Struct, *types.Array:
+						valueLits[cl] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			add(n.Pos(), "function literal allocates a closure in noalloc function %s", fd.Name.Name)
+			return false
+		case *ast.CompositeLit:
+			if valueLits[n] {
+				return true // stack value; nested literals still checked
+			}
+			add(n.Pos(), "composite literal in noalloc function %s", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement allocates in noalloc function %s", fd.Name.Name)
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						add(n.Pos(), "string concatenation allocates in noalloc function %s", fd.Name.Name)
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !calledFuns[n] {
+				add(n.Pos(), "method value allocates a bound-method closure in noalloc function %s", fd.Name.Name)
+			}
+			return true
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			calledFuns[fun] = true
+			c.checkCall(fd, n, fun, depth, add)
+			return true
+		}
+		return true
+	})
+	return sites
+}
+
+func (c *noallocChecker) checkCall(fd *ast.FuncDecl, call *ast.CallExpr, fun ast.Expr, depth int, add func(pos token.Pos, format string, args ...any)) {
+	info := c.pkg.Info
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(fd, call, tv.Type, add)
+		return
+	}
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.FuncLit:
+		return // the literal itself is already flagged
+	}
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make", "new":
+			add(call.Pos(), "%s in noalloc function %s", obj.Name(), fd.Name.Name)
+		case "append":
+			add(call.Pos(), "append may grow in noalloc function %s", fd.Name.Name)
+		}
+		return
+	case *types.Func:
+		sig, _ := obj.Type().(*types.Signature)
+		if sig != nil {
+			c.checkBoxing(fd, call, sig, obj.Name(), add)
+		}
+		c.checkCallee(fd, call, obj, depth, add)
+		return
+	case nil, *types.Var:
+		add(call.Pos(), "indirect call (cannot verify allocations) in noalloc function %s", fd.Name.Name)
+		return
+	}
+}
+
+// checkCallee applies the trust classes to a resolved static callee.
+func (c *noallocChecker) checkCallee(fd *ast.FuncDecl, call *ast.CallExpr, fn *types.Func, depth int, add func(pos token.Pos, format string, args ...any)) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return // universe scope (error.Error): trusted
+	}
+	if pkg == c.pkg.Types {
+		decl := c.decls[fn]
+		if decl == nil {
+			return // no source (embedded promotion): trusted
+		}
+		if c.ann.funcHas(decl, dirNoalloc) {
+			return // verified independently
+		}
+		if sites := c.verify(fn, decl, depth+1); len(sites) > 0 {
+			p := c.pkg.Fset.Position(sites[0].pos)
+			add(call.Pos(), "calls unannotated %s which allocates: %s (%s:%d)",
+				fn.Name(), sites[0].what, p.Filename, p.Line)
+		}
+		return
+	}
+	path := pkg.Path()
+	if path == c.modPath || strings.HasPrefix(path, c.modPath+"/") {
+		return // module-internal cross-package: trusted (annotate there)
+	}
+	if bannedCallPkgs[path] {
+		add(call.Pos(), "call to %s.%s in noalloc function %s", path, fn.Name(), fd.Name.Name)
+	}
+}
+
+// verify recursively scans an unannotated same-package callee, honoring its
+// alloc-ok line waivers, and memoizes the verdict.
+func (c *noallocChecker) verify(fn *types.Func, decl *ast.FuncDecl, depth int) []allocSite {
+	if sites, ok := c.verdicts[fn]; ok {
+		return sites
+	}
+	if c.inProgress[fn] || depth > maxVerifyDepth || decl.Body == nil {
+		return nil
+	}
+	c.inProgress[fn] = true
+	sites := c.scanFunc(decl, depth)
+	delete(c.inProgress, fn)
+	c.verdicts[fn] = sites
+	return sites
+}
+
+// checkConversion flags conversions that allocate: boxing a non-pointer-
+// shaped value into an interface, and string <-> byte/rune slice copies.
+func (c *noallocChecker) checkConversion(fd *ast.FuncDecl, call *ast.CallExpr, target types.Type, add func(pos token.Pos, format string, args ...any)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[call.Args[0]]
+	if !ok || tv.IsNil() || tv.Value != nil {
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(tv.Type) && !pointerShaped(tv.Type) {
+		add(call.Pos(), "conversion boxes %s into %s in noalloc function %s", tv.Type, target, fd.Name.Name)
+		return
+	}
+	if isString(target) != isString(tv.Type) && (isByteOrRuneSlice(target) || isByteOrRuneSlice(tv.Type)) {
+		add(call.Pos(), "string conversion allocates in noalloc function %s", fd.Name.Name)
+	}
+}
+
+// checkBoxing flags non-pointer-shaped, non-constant arguments passed to
+// interface-typed parameters: each such argument heap-allocates the boxed
+// value. panic is exempt (terminal path).
+func (c *noallocChecker) checkBoxing(fd *ast.FuncDecl, call *ast.CallExpr, sig *types.Signature, name string, add func(pos token.Pos, format string, args ...any)) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			break // xs... passes the slice itself: no per-element boxing
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := c.pkg.Info.Types[arg]
+		if !ok || tv.IsNil() || tv.Value != nil || types.IsInterface(tv.Type) || pointerShaped(tv.Type) {
+			continue
+		}
+		add(arg.Pos(), "argument boxes %s into interface parameter of %s in noalloc function %s",
+			tv.Type, name, fd.Name.Name)
+	}
+}
+
+// pointerShaped reports whether values of t fit the interface data word
+// without allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

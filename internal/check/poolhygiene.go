@@ -1,0 +1,475 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The poolhygiene analyzer pairs pool acquires with releases on every
+// return path. Recognized acquire/release pairs:
+//
+//	(*sync.Pool).Get             -> (*sync.Pool).Put
+//	(*krylov.WorkspacePool).Get  -> (*krylov.WorkspacePool).Put
+//	sparse.getWork               -> (*sync.Pool).Put   (solveWork.Put)
+//	(*sparse.LDLT).getG          -> (*sparse.LDLT).putG (token: 2nd result)
+//
+// The acquired token must be bound to an identifier; a release is any call
+// to the paired release function that mentions the token. The checker walks
+// the statement tree path-sensitively: each return (and the implicit one at
+// the end of the body) must see every live token released, deferred
+// releases cover all paths, and returning the token itself transfers
+// ownership to the caller. //matex:pool-drop(reason) on the acquire line
+// waives tracking for intentional drops (e.g. race-mode pools).
+
+// poolSpec describes one acquire form.
+type poolSpec struct {
+	tokenIdx int // which result of the acquire call is the release token
+	release  releaseClass
+}
+
+type releaseClass int
+
+const (
+	relSyncPoolPut releaseClass = iota
+	relWorkspacePut
+	relPutG
+)
+
+func runPoolHygiene(pkg *Pkg, ann *annotations, report func(pos token.Pos, analyzer, msg string)) {
+	c := &poolChecker{pkg: pkg, ann: ann, report: report}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+}
+
+type poolChecker struct {
+	pkg    *Pkg
+	ann    *annotations
+	report func(pos token.Pos, analyzer, msg string)
+}
+
+// token is one live pool acquisition being tracked through a function.
+type poolToken struct {
+	obj      types.Object // the bound identifier
+	pos      token.Pos    // acquire position
+	released bool
+	spec     poolSpec
+}
+
+type poolState struct {
+	tokens []*poolToken
+}
+
+func (s *poolState) clone() *poolState {
+	c := &poolState{tokens: make([]*poolToken, len(s.tokens))}
+	for i, t := range s.tokens {
+		cp := *t
+		c.tokens[i] = &cp
+	}
+	return c
+}
+
+func (c *poolChecker) checkFunc(fd *ast.FuncDecl) {
+	st := &poolState{}
+	terminated := c.walkStmts(fd.Body.List, st, fd)
+	if !terminated {
+		c.checkLive(st, fd.Body.Rbrace, fd)
+	}
+}
+
+// checkLive reports every live unreleased token at a function exit.
+func (c *poolChecker) checkLive(st *poolState, pos token.Pos, fd *ast.FuncDecl) {
+	for _, t := range st.tokens {
+		if !t.released {
+			t.released = true // report once per path family
+			c.report(t.pos, "poolhygiene",
+				fmt.Sprintf("pool acquire in %s is not released on all return paths (missing %s)",
+					fd.Name.Name, releaseName(t.spec.release)))
+		}
+	}
+}
+
+func releaseName(r releaseClass) string {
+	switch r {
+	case relWorkspacePut:
+		return "WorkspacePool.Put"
+	case relPutG:
+		return "putG"
+	}
+	return "Pool.Put"
+}
+
+// walkStmts interprets a statement list, returning true when the list
+// always terminates (return/panic) before falling through.
+func (c *poolChecker) walkStmts(stmts []ast.Stmt, st *poolState, fd *ast.FuncDecl) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, st, fd) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *poolChecker) walkStmt(s ast.Stmt, st *poolState, fd *ast.FuncDecl) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.scanReleases(s, st)
+		c.scanAcquire(s, st, fd)
+	case *ast.ExprStmt:
+		c.scanReleases(s, st)
+		if isTerminalCall(s.X) {
+			return true
+		}
+		c.scanUnboundAcquire(s.X, fd)
+	case *ast.DeferStmt:
+		// A deferred release covers every path from here on.
+		c.scanReleases(s, st)
+	case *ast.ReturnStmt:
+		// Returning the token transfers ownership to the caller.
+		for _, res := range s.Results {
+			c.markMentioned(res, st)
+		}
+		c.checkLive(st, s.Pos(), fd)
+		return true
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st, fd)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, fd)
+		}
+		thenSt := st.clone()
+		thenTerm := c.walkStmts(s.Body.List, thenSt, fd)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.walkStmt(s.Else, elseSt, fd)
+		}
+		merge(st, thenSt, thenTerm, elseSt, elseTerm)
+		return thenTerm && elseTerm && s.Else != nil
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkBranches(s, st, fd)
+	case *ast.ForStmt:
+		c.walkLoop(s.Init, s.Body, st, fd)
+	case *ast.RangeStmt:
+		c.walkLoop(nil, s.Body, st, fd)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st, fd)
+	case *ast.BranchStmt:
+		// break/continue/goto: stop interpreting this path conservatively.
+		return true
+	}
+	return false
+}
+
+// walkLoop analyzes a loop body in isolation: acquisitions made inside one
+// iteration must be released (or returned) within it; releases inside the
+// body do not count for tokens acquired outside (the body may run zero
+// times).
+func (c *poolChecker) walkLoop(init ast.Stmt, body *ast.BlockStmt, st *poolState, fd *ast.FuncDecl) {
+	if init != nil {
+		c.walkStmt(init, st, fd)
+	}
+	inner := st.clone()
+	// Outer tokens are considered already-handled inside the body scan so
+	// only per-iteration acquisitions are checked there.
+	for _, t := range inner.tokens {
+		t.released = true
+	}
+	if !c.walkStmts(body.List, inner, fd) {
+		c.checkLive(inner, body.Rbrace, fd)
+	}
+}
+
+// walkBranches analyzes switch/type-switch/select bodies: each clause runs
+// on a cloned state; the statement terminates only if every clause does and
+// the construct is exhaustive (a default or, for select, any clause set).
+func (c *poolChecker) walkBranches(s ast.Stmt, st *poolState, fd *ast.FuncDecl) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, fd)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, fd)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	allTerm := true
+	var branchStates []*poolState
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.walkStmt(cl.Comm, st, fd)
+			}
+			stmts = cl.Body
+		}
+		bst := st.clone()
+		if !c.walkStmts(stmts, bst, fd) {
+			allTerm = false
+			branchStates = append(branchStates, bst)
+		}
+	}
+	// Merge: a token is released after the construct only if every
+	// continuing branch (and the implicit fall-through when no default
+	// exists) released it.
+	fallthroughPossible := !hasDefault
+	if _, ok := s.(*ast.SelectStmt); ok {
+		fallthroughPossible = false // select always takes a clause
+	}
+	for i, t := range st.tokens {
+		rel := t.released
+		if !rel {
+			rel = !fallthroughPossible
+			for _, bst := range branchStates {
+				rel = rel && bst.tokens[i].released
+			}
+			if len(branchStates) == 0 && fallthroughPossible {
+				rel = false
+			}
+		}
+		t.released = rel
+	}
+	// New tokens acquired inside branches were checked within them.
+	return allTerm && !fallthroughPossible && len(body.List) > 0
+}
+
+// merge folds the two branch states of an if back into st.
+func merge(st, thenSt *poolState, thenTerm bool, elseSt *poolState, elseTerm bool) {
+	base := len(st.tokens)
+	for i, t := range st.tokens {
+		rel := t.released
+		if !rel {
+			thenRel := thenTerm || thenSt.tokens[i].released
+			elseRel := elseTerm || elseSt.tokens[i].released
+			rel = thenRel && elseRel
+		}
+		t.released = rel
+	}
+	// Tokens acquired inside a non-terminating branch leak into the joined
+	// path: keep tracking them, but only from branches that continue.
+	if !thenTerm {
+		st.tokens = append(st.tokens, thenSt.tokens[base:]...)
+	}
+	if !elseTerm {
+		st.tokens = append(st.tokens, elseSt.tokens[base:]...)
+	}
+}
+
+// scanAcquire registers pool acquisitions bound by an assignment.
+func (c *poolChecker) scanAcquire(s *ast.AssignStmt, st *poolState, fd *ast.FuncDecl) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call := unwrapCall(s.Rhs[0])
+	if call == nil {
+		return
+	}
+	spec, ok := c.acquireSpec(call)
+	if !ok {
+		return
+	}
+	if c.ann.lineHas(call.Pos(), dirPoolDrop) {
+		return
+	}
+	if spec.tokenIdx >= len(s.Lhs) {
+		c.report(call.Pos(), "poolhygiene",
+			fmt.Sprintf("pool acquire in %s does not bind its release token", fd.Name.Name))
+		return
+	}
+	id, ok := s.Lhs[spec.tokenIdx].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		c.report(call.Pos(), "poolhygiene",
+			fmt.Sprintf("pool acquire in %s discards its release token", fd.Name.Name))
+		return
+	}
+	obj := c.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = c.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	st.tokens = append(st.tokens, &poolToken{obj: obj, pos: call.Pos(), spec: spec})
+}
+
+// scanUnboundAcquire flags acquire calls whose result is discarded outright.
+func (c *poolChecker) scanUnboundAcquire(e ast.Expr, fd *ast.FuncDecl) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if _, isAcq := c.acquireSpec(call); isAcq && !c.ann.lineHas(call.Pos(), dirPoolDrop) {
+		c.report(call.Pos(), "poolhygiene",
+			fmt.Sprintf("pool acquire in %s discards its result", fd.Name.Name))
+	}
+}
+
+// unwrapCall digs an acquire call out of type assertions and conversions:
+// pool.Get().(*T), and the bare call itself.
+func unwrapCall(e ast.Expr) *ast.CallExpr {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return e
+	case *ast.TypeAssertExpr:
+		return unwrapCall(e.X)
+	}
+	return nil
+}
+
+// acquireSpec classifies a call as a pool acquire.
+func (c *poolChecker) acquireSpec(call *ast.CallExpr) (poolSpec, bool) {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return poolSpec{}, false
+	}
+	recv := receiverTypeName(fn)
+	switch {
+	case fn.Name() == "Get" && recv == "sync.Pool":
+		return poolSpec{tokenIdx: 0, release: relSyncPoolPut}, true
+	case fn.Name() == "Get" && strings.HasSuffix(recv, "WorkspacePool"):
+		return poolSpec{tokenIdx: 0, release: relWorkspacePut}, true
+	case fn.Name() == "getWork" && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "sparse"):
+		return poolSpec{tokenIdx: 0, release: relSyncPoolPut}, true
+	case fn.Name() == "getG" && strings.HasSuffix(recv, "LDLT"):
+		return poolSpec{tokenIdx: 1, release: relPutG}, true
+	}
+	return poolSpec{}, false
+}
+
+// isRelease classifies a call as a release of the given class.
+func (c *poolChecker) isRelease(call *ast.CallExpr, r releaseClass) bool {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	recv := receiverTypeName(fn)
+	switch r {
+	case relSyncPoolPut:
+		return fn.Name() == "Put" && recv == "sync.Pool"
+	case relWorkspacePut:
+		return fn.Name() == "Put" && strings.HasSuffix(recv, "WorkspacePool")
+	case relPutG:
+		return fn.Name() == "putG" && strings.HasSuffix(recv, "LDLT")
+	}
+	return false
+}
+
+func (c *poolChecker) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// receiverTypeName returns the bare "pkg.Type" of a method receiver, with
+// any pointer stripped, or "" for plain functions.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if named.Obj().Pkg() == nil {
+		return named.Obj().Name()
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// scanReleases marks tokens released by any release call inside the
+// statement (including deferred calls and closure bodies).
+func (c *poolChecker) scanReleases(s ast.Stmt, st *poolState) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, t := range st.tokens {
+			if !t.released && c.isRelease(call, t.spec.release) && c.mentions(call.Args, t.obj) {
+				t.released = true
+			}
+		}
+		return true
+	})
+}
+
+// markMentioned releases any token whose identifier appears in the
+// expression (ownership transfer through a return value).
+func (c *poolChecker) markMentioned(e ast.Expr, st *poolState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, t := range st.tokens {
+			if c.pkg.Info.Uses[id] == t.obj {
+				t.released = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *poolChecker) mentions(args []ast.Expr, obj types.Object) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && c.pkg.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// isTerminalCall reports whether the expression statement unconditionally
+// stops the function (panic or a fatal logger).
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Exit"
+	}
+	return false
+}

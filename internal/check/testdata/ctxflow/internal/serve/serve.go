@@ -1,0 +1,58 @@
+// Package serve is a ctxflow-analyzer fixture: the directory sits at
+// internal/serve, the request-path scope the analyzer polices.
+package serve
+
+import "context"
+
+// Wait blocks on a channel without accepting a context.
+func Wait(ch chan int) int { // want "has no context.Context parameter"
+	return <-ch
+}
+
+// Detach manufactures a root context inside a request path.
+func Detach() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+// WaitCtx is the compliant form: the context arrives as a parameter.
+func WaitCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Poll is non-blocking: its select has a default clause.
+func Poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Drain is exempted with a reason.
+//
+//matex:ctx-exempt(fixture: shutdown-path helper that must outlive requests)
+func Drain(ch chan int) {
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+// Root is a sanctioned context root.
+//
+//matex:ctx-root(fixture: server lifecycle root)
+func Root() context.Context {
+	return context.Background()
+}
+
+// helper is unexported: the entry-point rule applies to exported functions.
+func helper(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,84 @@
+// Package sparse is a poolhygiene-analyzer fixture. The directory name
+// matters: the getWork acquire spec keys on a package path ending in
+// "sparse", mirroring the real solver package.
+package sparse
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { s := make([]float64, 0); return &s }}
+
+// getWork mirrors the solver's pooled-workspace acquire.
+func getWork(n int) *[]float64 {
+	w := bufPool.Get().(*[]float64)
+	if cap(*w) < n {
+		*w = make([]float64, n)
+	}
+	*w = (*w)[:n]
+	return w
+}
+
+// LeakOnEarlyReturn acquires but misses the release on the error path.
+func LeakOnEarlyReturn(n int) float64 {
+	w := bufPool.Get().(*[]float64) // want "not released on all return paths"
+	if n <= 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range *w {
+		s += v
+	}
+	bufPool.Put(w)
+	return s
+}
+
+// LeakGetWork leaks through the project-specific acquire spec. The length
+// is copied out so the return does not mention the token (mentioning it
+// would read as an ownership transfer).
+func LeakGetWork(n int) int {
+	w := getWork(n) // want "not released on all return paths"
+	m := len(*w)
+	return m
+}
+
+// DiscardedToken drops the acquire result outright.
+func DiscardedToken() {
+	bufPool.Get() // want "discards its result"
+}
+
+// CleanDefer releases on every path through a deferred Put.
+func CleanDefer(n int) float64 {
+	w := getWork(n)
+	defer bufPool.Put(w)
+	if n == 1 {
+		return 1
+	}
+	s := 0.0
+	for _, v := range *w {
+		s += v
+	}
+	return s
+}
+
+// CleanBranches releases explicitly on each return path.
+func CleanBranches(n int) float64 {
+	w := getWork(n)
+	if n <= 0 {
+		bufPool.Put(w)
+		return 0
+	}
+	s := float64(len(*w))
+	bufPool.Put(w)
+	return s
+}
+
+// CleanTransfer hands the token to its caller.
+func CleanTransfer(n int) *[]float64 {
+	w := getWork(n)
+	return w
+}
+
+// WaivedDrop documents an intentional leak.
+func WaivedDrop() {
+	w := bufPool.Get().(*[]float64) //matex:pool-drop(fixture: intentional drop mirroring race-mode pools)
+	_ = w
+}

@@ -127,6 +127,9 @@ type Config struct {
 	Ctx context.Context
 }
 
+// withDefaults resolves zero-valued configuration fields.
+//
+//matex:ctx-root(embedding API default when the caller supplies no context)
 func (c Config) withDefaults() Config {
 	if c.Method == transient.TRFixed && c.Step <= 0 {
 		c.Method = transient.RMATEX

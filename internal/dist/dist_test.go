@@ -30,6 +30,14 @@ func testSystem(t *testing.T, scale float64) *circuit.System {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every subtask factors views of these matrices; catch a bad stamp here
+	// rather than as a downstream solver failure.
+	if err := sparse.CheckCSC(sys.C); err != nil {
+		t.Fatalf("stamped C violates CSC invariants: %v", err)
+	}
+	if err := sparse.CheckCSC(sys.G); err != nil {
+		t.Fatalf("stamped G violates CSC invariants: %v", err)
+	}
 	return sys
 }
 

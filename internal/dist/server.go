@@ -312,6 +312,8 @@ const DefaultDrainGrace = 30 * time.Second
 // Serve accepts connections on l and serves the worker service until the
 // listener fails (e.g. is closed). Each connection is served concurrently;
 // net/rpc additionally runs each call in its own goroutine.
+//
+//matex:ctx-root(legacy non-draining wrapper; cancellation-aware callers use ServeContext)
 func Serve(l net.Listener, ws *WorkerServer) error {
 	return ServeContext(context.Background(), l, ws)
 }

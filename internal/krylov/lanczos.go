@@ -95,21 +95,23 @@ const reorthThreshold = 1.4901161193847656e-08 // sqrt(machine epsilon)
 // partial reorthogonalization guard (Simon's ω-recurrence) estimates the
 // drift and switches to full reorthogonalization sweeps when it crosses √ε.
 // Options.Reorthogonalize forces the full sweep on every iteration.
+//
+//matex:noalloc
 func Lanczos(op *Op, v []float64, hCheck []float64, opts Options) (*Subspace, error) {
 	n := op.N()
 	opts = opts.withDefaults(n)
 	if len(v) != n {
-		return nil, fmt.Errorf("krylov: starting vector length %d != operator dimension %d", len(v), n)
+		return nil, fmt.Errorf("krylov: starting vector length %d != operator dimension %d", len(v), n) //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 	}
 	if len(hCheck) == 0 {
-		return nil, errors.New("krylov: no step sizes to check")
+		return nil, errors.New("krylov: no step sizes to check") //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 	}
 	if !op.SymmetricFor(v) {
-		return nil, fmt.Errorf("krylov: %v operator is not symmetric-eligible for Lanczos here", op.Mode)
+		return nil, fmt.Errorf("krylov: %v operator is not symmetric-eligible for Lanczos here", op.Mode) //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 	}
 	ws := opts.Workspace
 	if ws == nil {
-		ws = &Workspace{}
+		ws = &Workspace{} //matex:alloc-ok(fallback workspace when the caller supplies no pool)
 	}
 	sub := ws.resetSub(op)
 
@@ -130,7 +132,7 @@ func Lanczos(op *Op, v []float64, hCheck []float64, opts Options) (*Subspace, er
 		ws.mu[0] = 0
 		sub.mu = ws.mu[:1]
 		if op.Count != nil {
-			op.Count.Dims = append(op.Count.Dims, 1)
+			op.Count.Dims = append(op.Count.Dims, 1) //matex:alloc-ok(work-stats recording; amortized append)
 		}
 		return sub, nil
 	}
@@ -184,7 +186,7 @@ func Lanczos(op *Op, v []float64, hCheck []float64, opts Options) (*Subspace, er
 		op.ApplySym(w, bww, ws.basis[j])
 		wb0 := dot(w, bww)
 		if math.IsNaN(wb0) || math.IsInf(wb0, 0) {
-			return nil, fmt.Errorf("krylov: %v operator produced a non-finite vector at dimension %d (system too stiff for this subspace)", op.Mode, j+1)
+			return nil, fmt.Errorf("krylov: %v operator produced a non-finite vector at dimension %d (system too stiff for this subspace)", op.Mode, j+1) //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 		}
 		wScale := math.Sqrt(math.Max(0, wb0))
 		if j > 0 {
@@ -248,7 +250,7 @@ func Lanczos(op *Op, v []float64, hCheck []float64, opts Options) (*Subspace, er
 		}
 		if err := ws.eig(alpha, beta, m); err != nil {
 			if happy || m == opts.MaxDim {
-				return nil, fmt.Errorf("krylov: %v Lanczos projection eigendecomposition failed at dimension %d: %w", op.Mode, m, err)
+				return nil, fmt.Errorf("krylov: %v Lanczos projection eigendecomposition failed at dimension %d: %w", op.Mode, m, err) //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 			}
 			continue
 		}
@@ -335,10 +337,10 @@ func Lanczos(op *Op, v []float64, hCheck []float64, opts Options) (*Subspace, er
 	// Arnoldi: callers proceed with the achievable accuracy after exhausting
 	// their step-splitting options.
 	if bestM == 0 {
-		return nil, fmt.Errorf("%w (dim %d, tol %g)", ErrNoConvergence, opts.MaxDim, opts.Tol)
+		return nil, fmt.Errorf("%w (dim %d, tol %g)", ErrNoConvergence, opts.MaxDim, opts.Tol) //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 	}
 	if err := ws.eig(alpha, beta, bestM); err != nil {
-		return nil, fmt.Errorf("%w (dim %d, tol %g)", ErrNoConvergence, opts.MaxDim, opts.Tol)
+		return nil, fmt.Errorf("%w (dim %d, tol %g)", ErrNoConvergence, opts.MaxDim, opts.Tol) //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 	}
 	lamScale := 0.0
 	for _, l := range ws.eigD[:bestM] {
@@ -351,12 +353,14 @@ func Lanczos(op *Op, v []float64, hCheck []float64, opts Options) (*Subspace, er
 		ws.mu[k] = op.convertMu(ws.eigD[k], lamScale)
 	}
 	finishTri(sub, ws, bestM, beta[bestM-1], nu[bestM])
-	return sub, fmt.Errorf("%w (best dim %d, estimate %.3g, tol %g)", ErrNoConvergence, bestM, bestWorst, opts.Tol)
+	return sub, fmt.Errorf("%w (best dim %d, estimate %.3g, tol %g)", ErrNoConvergence, bestM, bestWorst, opts.Tol) //matex:alloc-ok(error path; subspace generation is abandoned or degraded)
 }
 
 // finishTri installs the spectral representation at dimension m. estNu is
 // the Euclidean norm of the residual direction v_{m+1}, converting later
 // ErrEstimate calls into the caller's units.
+//
+//matex:noalloc
 func finishTri(sub *Subspace, ws *Workspace, m int, hsub, estNu float64) {
 	sub.m = m
 	sub.tri = true
@@ -366,7 +370,7 @@ func finishTri(sub *Subspace, ws *Workspace, m int, hsub, estNu float64) {
 	sub.hsub = hsub
 	sub.estNu = estNu
 	if op := sub.op; op.Count != nil {
-		op.Count.Dims = append(op.Count.Dims, m)
+		op.Count.Dims = append(op.Count.Dims, m) //matex:alloc-ok(work-stats recording; amortized append)
 		op.Count.Lanczos++
 	}
 }
@@ -376,6 +380,8 @@ func finishTri(sub *Subspace, ws *Workspace, m int, hsub, estNu float64) {
 // for the just-formed v_{j+1} into omegaNew and returns its largest
 // magnitude against v_0..v_{j-1}. Indices follow alpha[i] = T[i,i],
 // beta[i] = T[i+1,i].
+//
+//matex:noalloc
 func updateOmega(omega, omegaNew, alpha, beta []float64, j int) float64 {
 	if j == 0 {
 		omega[0] = machEpsK
@@ -403,6 +409,8 @@ func updateOmega(omega, omegaNew, alpha, beta []float64, j int) float64 {
 }
 
 // omegaAt reads ω_{j,i} with the convention ω_{j,j} = 1.
+//
+//matex:noalloc
 func omegaAt(omega []float64, i, j int) float64 {
 	if i == j {
 		return 1
@@ -410,6 +418,7 @@ func omegaAt(omega []float64, i, j int) float64 {
 	return omega[i]
 }
 
+//matex:noalloc
 func resetOmega(omega []float64, upto int) {
 	for i := 0; i <= upto && i < len(omega); i++ {
 		omega[i] = machEpsK

@@ -148,6 +148,8 @@ func (op *Op) SetSolveWorkers(w int) { op.solveWorkers = w }
 
 // solve runs one substitution pair dst = fact⁻¹·b through the parallel
 // solver when enabled and available.
+//
+//matex:noalloc
 func (op *Op) solve(dst, b []float64) {
 	if op.solveWorkers > 1 {
 		if ps, ok := op.fact.(sparse.ParSolver); ok {
@@ -311,6 +313,8 @@ func (op *Op) SymmetricFor(v []float64) bool {
 // recurrence needs no extra SpMV per iteration. Only valid when
 // op.SymmetricFor(v); for augmented modes the auxiliary entries of v must be
 // zero and stay zero in w and bw.
+//
+//matex:noalloc
 func (op *Op) ApplySym(w, bw, v []float64) {
 	n := op.n
 	switch op.Mode {
@@ -344,6 +348,8 @@ func (op *Op) ApplySym(w, bw, v []float64) {
 
 // applyB computes dst = B·v for the operator's inner-product matrix — needed
 // once per subspace, for the starting vector. Auxiliary entries stay zero.
+//
+//matex:noalloc
 func (op *Op) applyB(dst, v []float64) {
 	n := op.n
 	switch op.Mode {
@@ -391,6 +397,8 @@ func (op *Op) convertMu(lam, lamScale float64) float64 {
 }
 
 // Apply computes dst = M·v (dst and v must not alias; length op.N()).
+//
+//matex:noalloc
 func (op *Op) Apply(dst, v []float64) {
 	n := op.n
 	switch op.Mode {
@@ -447,19 +455,19 @@ func (op *Op) ConvertH(hhat *dense.Matrix) (*dense.Matrix, error) {
 	case Inverted:
 		inv, err := invertChecked(hhat)
 		if err != nil {
-			return nil, fmt.Errorf("krylov: inverted-mode Ĥ not invertible: %w", err)
+			return nil, fmt.Errorf("krylov: inverted-mode Ĥ not invertible: %w", err) //matex:alloc-ok(conversion-failure error path)
 		}
 		return inv, nil
 	case Rational:
 		inv, err := invertChecked(hhat)
 		if err != nil {
-			return nil, fmt.Errorf("krylov: rational-mode H̃ not invertible: %w", err)
+			return nil, fmt.Errorf("krylov: rational-mode H̃ not invertible: %w", err) //matex:alloc-ok(conversion-failure error path)
 		}
 		m := hhat.R
 		out := dense.Add(1, dense.Eye(m), -1, inv)
 		return out.Scale(1 / op.Gamma), nil
 	}
-	return nil, fmt.Errorf("krylov: unknown mode %d", op.Mode)
+	return nil, fmt.Errorf("krylov: unknown mode %d", op.Mode) //matex:alloc-ok(caller-misuse error path)
 }
 
 // invertChecked inverts the small projection matrix, verifying the product
@@ -470,7 +478,7 @@ func (op *Op) ConvertH(hhat *dense.Matrix) (*dense.Matrix, error) {
 // (e^{hA} annihilates them for any h > 0).
 func invertChecked(h *dense.Matrix) (*dense.Matrix, error) {
 	m := h.R
-	try := func(shift, tol float64) (*dense.Matrix, bool) {
+	try := func(shift, tol float64) (*dense.Matrix, bool) { //matex:alloc-ok(once per converged subspace, not per iteration)
 		src := h
 		if shift > 0 {
 			src = h.Clone()
@@ -488,7 +496,7 @@ func invertChecked(h *dense.Matrix) (*dense.Matrix, error) {
 		}
 		return inv, true
 	}
-	if inv, ok := try(0, 1e-6); ok {
+	if inv, ok := try(0, 1e-6); ok { //matex:alloc-ok(once per converged subspace, not per iteration)
 		return inv, nil
 	}
 	scale := h.InfNorm()
@@ -499,12 +507,12 @@ func invertChecked(h *dense.Matrix) (*dense.Matrix, error) {
 	// shifted (algebraic) directions, which the exponential annihilates; the
 	// slow directions we care about are perturbed only at the shift level.
 	// The ladder prefers the most accurate acceptable combination.
-	for _, tol := range []float64{1e-6, 1e-4, 1e-2} {
-		for _, rel := range []float64{1e-14, 1e-13, 1e-12, 1e-11, 1e-10, 1e-9} {
-			if inv, ok := try(rel*scale, tol); ok {
+	for _, tol := range []float64{1e-6, 1e-4, 1e-2} { //matex:alloc-ok(singularity-recovery ladder; rare path)
+		for _, rel := range []float64{1e-14, 1e-13, 1e-12, 1e-11, 1e-10, 1e-9} { //matex:alloc-ok(singularity-recovery ladder; rare path)
+			if inv, ok := try(rel*scale, tol); ok { //matex:alloc-ok(singularity-recovery ladder; rare path)
 				return inv, nil
 			}
 		}
 	}
-	return nil, fmt.Errorf("dense: projection numerically singular even after shifting")
+	return nil, fmt.Errorf("dense: projection numerically singular even after shifting") //matex:alloc-ok(terminal error path)
 }

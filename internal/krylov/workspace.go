@@ -79,7 +79,7 @@ var DefaultWorkspaces = NewWorkspacePool()
 // growF returns s resized to n, reusing capacity.
 func growF(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //matex:alloc-ok(grow path: workspace slice resized once per larger problem)
 	}
 	return s[:n]
 }
@@ -88,7 +88,7 @@ func growF(s []float64, n int) []float64 {
 // list and the vector as needed. Contents are unspecified.
 func vec(list *[][]float64, i, n int) []float64 {
 	for len(*list) <= i {
-		*list = append(*list, nil)
+		*list = append(*list, nil) //matex:alloc-ok(grow path: basis list extended once per larger subspace)
 	}
 	(*list)[i] = growF((*list)[i], n)
 	return (*list)[i]
@@ -112,7 +112,7 @@ func matrix(m **dense.Matrix, r, c int) *dense.Matrix {
 // dimension up to maxDim, clearing previous contents.
 func (ws *Workspace) prepPrevU(k, maxDim int) {
 	for len(ws.prevU) < k {
-		ws.prevU = append(ws.prevU, nil)
+		ws.prevU = append(ws.prevU, nil) //matex:alloc-ok(grow path: estimate history sized once per step-size count)
 	}
 	for i := 0; i < k; i++ {
 		ws.prevU[i] = growF(ws.prevU[i], maxDim)

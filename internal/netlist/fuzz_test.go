@@ -1,0 +1,38 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoundTrip drives the parser with arbitrary deck text. Decks the
+// parser accepts must survive a write→parse→write round trip: the writer's
+// output is itself a valid deck, and rewriting the reparsed deck reproduces
+// it byte for byte (the writer is a canonical form).
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add([]byte("* title\nR1 n1 0 1k\nV1 n1 0 1\n.end\n"))
+	f.Add([]byte("* pdn\nr1 a b 0.5\nc1 b 0 1e-12\ni1 b 0 PULSE(0 1m 0 1n 1n 5n 10n)\n.tran 1n 10n\n.print tran v(b)\n.end\n"))
+	f.Add([]byte("* cont\nR1 n1 n2 1\n+ \nV1 n1 0 2\n.end\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		deck, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var out1 strings.Builder
+		if err := Write(&out1, deck); err != nil {
+			t.Fatalf("write of parsed deck failed: %v", err)
+		}
+		deck2, err := Parse(strings.NewReader(out1.String()))
+		if err != nil {
+			t.Fatalf("reparse of written deck failed: %v\ndeck:\n%s", err, out1.String())
+		}
+		var out2 strings.Builder
+		if err := Write(&out2, deck2); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		if out1.String() != out2.String() {
+			t.Fatalf("write→parse→write is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", out1.String(), out2.String())
+		}
+	})
+}

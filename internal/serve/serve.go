@@ -135,6 +135,8 @@ type Server struct {
 }
 
 // New starts a Server's worker pool and returns it.
+//
+//matex:ctx-root(server lifecycle root; every job derives its per-job context from it)
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -410,14 +412,14 @@ func (s *Server) distPool(sys *circuit.System, spec JobSpec) (dist.Pool, string,
 	s.poolMu.Lock()
 	defer s.poolMu.Unlock()
 	if prev, ok := s.pools[key]; ok {
-		pool.Close()
+		closePool(pool)
 		return prev, key, nil
 	}
 	if len(s.pools) >= maxDistPools {
 		oldest := s.poolOrder[0]
 		s.poolOrder = s.poolOrder[1:]
 		if p, ok := s.pools[oldest]; ok {
-			p.Close()
+			closePool(p)
 			delete(s.pools, oldest)
 		}
 	}
@@ -431,7 +433,7 @@ func (s *Server) dropPool(key string) {
 	s.poolMu.Lock()
 	defer s.poolMu.Unlock()
 	if p, ok := s.pools[key]; ok {
-		p.Close()
+		closePool(p)
 		delete(s.pools, key)
 		for i, k := range s.poolOrder {
 			if k == key {
@@ -442,12 +444,19 @@ func (s *Server) dropPool(key string) {
 	}
 }
 
+// closePool releases a worker pool on an eviction, duplicate-dial, or
+// shutdown path. Nothing can retry a failed close there, so the error is
+// deliberately discarded in this one place.
+func closePool(p dist.Pool) {
+	p.Close() //matex:err-ok(eviction/shutdown path; a failed close has no recovery)
+}
+
 // closePools releases every cached worker pool (shutdown).
 func (s *Server) closePools() {
 	s.poolMu.Lock()
 	defer s.poolMu.Unlock()
 	for key, p := range s.pools {
-		p.Close()
+		closePool(p)
 		delete(s.pools, key)
 	}
 	s.poolOrder = nil

@@ -64,6 +64,7 @@ func (t *Triplet) ToCSC() *CSC {
 	m := &CSC{Rows: t.rows, Cols: t.cols, Colptr: colptr, Rowidx: rowidx, Values: values}
 	m.sortColumns()
 	m.sumDuplicates()
+	debugCheckCSC(m)
 	return m
 }
 

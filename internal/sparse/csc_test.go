@@ -82,28 +82,13 @@ func TestTripletToCSCSumsDuplicates(t *testing.T) {
 
 // checkCSC asserts the full CSC invariant set every routine in this package
 // relies on — At's binary search in particular assumes strictly sorted,
-// duplicate-free row indices within each column.
+// duplicate-free row indices within each column. The actual checks live in
+// the exported CheckCSC (invariants.go) so that the dist, transient, and
+// serve tests can assert the same invariants without duplicating them.
 func checkCSC(t *testing.T, m *CSC) {
 	t.Helper()
-	if len(m.Colptr) != m.Cols+1 {
-		t.Fatalf("Colptr length %d, want %d", len(m.Colptr), m.Cols+1)
-	}
-	if m.Colptr[0] != 0 || m.Colptr[m.Cols] != len(m.Rowidx) || len(m.Rowidx) != len(m.Values) {
-		t.Fatalf("Colptr endpoints (%d, %d) inconsistent with %d row indices / %d values",
-			m.Colptr[0], m.Colptr[m.Cols], len(m.Rowidx), len(m.Values))
-	}
-	for j := 0; j < m.Cols; j++ {
-		if m.Colptr[j] > m.Colptr[j+1] {
-			t.Fatalf("Colptr not monotone at column %d", j)
-		}
-		for p := m.Colptr[j]; p < m.Colptr[j+1]; p++ {
-			if m.Rowidx[p] < 0 || m.Rowidx[p] >= m.Rows {
-				t.Fatalf("row index %d out of range in column %d", m.Rowidx[p], j)
-			}
-			if p > m.Colptr[j] && m.Rowidx[p-1] >= m.Rowidx[p] {
-				t.Fatalf("column %d not strictly sorted at %d", j, p)
-			}
-		}
+	if err := CheckCSC(m); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,13 @@
+//go:build !matexdebug
+
+package sparse
+
+// Release builds: the matexdebug hooks compile to empty functions that the
+// inliner erases. See debug_on.go for the active versions.
+
+// debugEnabled reports whether the matexdebug invariant layer is compiled in.
+const debugEnabled = false
+
+func debugCheckCSC(*CSC)           {}
+func debugCheckSymbolic(*Symbolic) {}
+func debugCheckFactor(*LDLT)       {}

@@ -1,0 +1,29 @@
+//go:build matexdebug
+
+package sparse
+
+// Build with -tags matexdebug to activate the runtime invariant layer: the
+// hooks below run the exported checkers from invariants.go at the exit of
+// the hot construction paths and panic on the first violation. Release
+// builds compile the hooks in debug_off.go to empty functions instead.
+
+// debugEnabled reports whether the matexdebug invariant layer is compiled in.
+const debugEnabled = true
+
+func debugCheckCSC(m *CSC) {
+	if err := CheckCSC(m); err != nil {
+		panic(err)
+	}
+}
+
+func debugCheckSymbolic(s *Symbolic) {
+	if err := CheckSymbolic(s); err != nil {
+		panic(err)
+	}
+}
+
+func debugCheckFactor(f *LDLT) {
+	if err := CheckFactor(f); err != nil {
+		panic(err)
+	}
+}

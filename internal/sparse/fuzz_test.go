@@ -1,0 +1,74 @@
+package sparse
+
+import "testing"
+
+// fuzzMatrix decodes a byte stream into an n×n matrix: each 3-byte chunk
+// stamps one entry (row, column, value). The triplet path itself is under
+// test, so the result is validated before use.
+func fuzzMatrix(t *testing.T, n int, entries []byte) *CSC {
+	tb := NewTriplet(n, n)
+	for k := 0; k+2 < len(entries); k += 3 {
+		i := int(entries[k]) % n
+		j := int(entries[k+1]) % n
+		v := float64(int(entries[k+2]) - 128)
+		tb.Add(i, j, v)
+	}
+	m := tb.ToCSC()
+	if err := CheckCSC(m); err != nil {
+		t.Fatalf("ToCSC broke the CSC invariants: %v", err)
+	}
+	return m
+}
+
+// FuzzCSCOps checks that the core pattern operations are closed under the
+// CSC invariants (sorted, duplicate-free, in-range row indices) for
+// arbitrary stamping sequences.
+func FuzzCSCOps(f *testing.F) {
+	f.Add(uint8(4), uint8(1), []byte{0, 0, 10, 1, 1, 200, 0, 1, 3}, 1.0, 1.0)
+	f.Add(uint8(1), uint8(0), []byte{}, 0.0, 0.0)
+	f.Add(uint8(7), uint8(3), []byte{6, 6, 1, 6, 0, 2, 0, 6, 2, 3, 3, 9}, 2.5, -0.5)
+	f.Fuzz(func(t *testing.T, dim, rot uint8, entries []byte, alpha, beta float64) {
+		n := int(dim)%8 + 1
+		a := fuzzMatrix(t, n, entries)
+
+		// Split the stream so the two operands differ.
+		b := fuzzMatrix(t, n, entries[len(entries)/2:])
+
+		sum := Add(alpha, a, beta, b)
+		if err := CheckCSC(sum); err != nil {
+			t.Fatalf("Add broke the CSC invariants: %v", err)
+		}
+		at := a.Transpose()
+		if err := CheckCSC(at); err != nil {
+			t.Fatalf("Transpose broke the CSC invariants: %v", err)
+		}
+		if att := at.Transpose(); att.NNZ() != a.NNZ() {
+			t.Fatalf("double transpose changed nnz: %d != %d", att.NNZ(), a.NNZ())
+		}
+
+		// A rotation is always a valid permutation.
+		p := make([]int, n)
+		for i := range p {
+			p[i] = (i + int(rot)) % n
+		}
+		perm := PermuteSym(a, p)
+		if err := CheckCSC(perm); err != nil {
+			t.Fatalf("PermuteSym broke the CSC invariants: %v", err)
+		}
+		if perm.NNZ() != a.NNZ() {
+			t.Fatalf("PermuteSym changed nnz: %d != %d", perm.NNZ(), a.NNZ())
+		}
+	})
+}
+
+// FuzzParseOrdering checks the ordering-name parser never panics.
+func FuzzParseOrdering(f *testing.F) {
+	for _, s := range []string{"", "rcm", "natural", "mindegree", "amd", "RCM ", "0", "nested"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if ord, err := ParseOrdering(s); err == nil {
+			_ = ord.Resolve() // accepted names must also resolve
+		}
+	})
+}

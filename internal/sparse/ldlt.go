@@ -51,6 +51,8 @@ type LDLT struct {
 
 // getG claims the factor's gather buffer, falling back to the shared pool
 // under contention. sz must not exceed len(gbuf). Release with putG.
+//
+//matex:noalloc
 func (f *LDLT) getG(sz int) ([]float64, *[]float64) {
 	if f.gbusy.CompareAndSwap(false, true) {
 		return f.gbuf[:sz], nil
@@ -59,6 +61,7 @@ func (f *LDLT) getG(sz int) ([]float64, *[]float64) {
 	return (*p)[:sz], p
 }
 
+//matex:noalloc
 func (f *LDLT) putG(pooled *[]float64) {
 	if pooled != nil {
 		solveWork.Put(pooled)
@@ -150,16 +153,19 @@ func FactorLDLT(a *CSC, order Ordering) (*LDLT, error) {
 // slices are sized to the largest system seen and resliced per use).
 var solveWork = sync.Pool{New: func() any { s := make([]float64, 0); return &s }}
 
+//matex:noalloc
 func getWork(n int) *[]float64 {
 	w := solveWork.Get().(*[]float64)
 	if cap(*w) < n {
-		*w = make([]float64, n)
+		*w = make([]float64, n) //matex:alloc-ok(grow path: pool slice resized to the largest system seen)
 	}
 	return w
 }
 
 // Solve computes x = A⁻¹ b, overwriting dst. dst and b may alias. The
 // workspace comes from a shared pool; repeated solves allocate nothing.
+//
+//matex:noalloc
 func (f *LDLT) Solve(dst, b []float64) {
 	if len(dst) != f.sym.n || len(b) != f.sym.n {
 		panic("sparse: LDLT.Solve dimension mismatch")
@@ -170,6 +176,8 @@ func (f *LDLT) Solve(dst, b []float64) {
 }
 
 // SolveWith is Solve with a caller-provided workspace of length n.
+//
+//matex:noalloc
 func (f *LDLT) SolveWith(dst, b, work []float64) {
 	n := f.sym.n
 	if len(work) != n {
@@ -247,6 +255,8 @@ func (f *LDLT) ParallelizableSolve() bool {
 // workers <= 1 and factors below the profitability crossover fall back to
 // the sequential path entirely; the fan-out itself runs on a persistent
 // worker pool and allocates nothing. Safe for concurrent use.
+//
+//matex:noalloc
 func (f *LDLT) ParSolveWith(dst, b, work []float64, workers int) {
 	n := f.sym.n
 	if workers <= 1 || !f.ParallelizableSolve() {
@@ -296,6 +306,8 @@ func (f *LDLT) ParSolveWith(dst, b, work []float64, workers int) {
 
 // fwdRowsGather finalizes a row range of the scalar forward solve in gather
 // form (ascending order within the range).
+//
+//matex:noalloc
 func (f *LDLT) fwdRowsGather(rows []int32, work []float64) {
 	sym := f.sym
 	valuesR, rowptr, rowind := f.valuesR, sym.rowptr, sym.rowind
@@ -311,6 +323,8 @@ func (f *LDLT) fwdRowsGather(rows []int32, work []float64) {
 
 // bwdRowsGather finalizes a row range of the scalar backward solve in gather
 // form, descending order: row i of Lᵀ is column i of L.
+//
+//matex:noalloc
 func (f *LDLT) bwdRowsGather(rows []int32, work []float64) {
 	sym := f.sym
 	values, colptr, rowidx := f.values, sym.colptr, sym.rowidx
@@ -334,6 +348,8 @@ const (
 
 // runTaskBody executes one task of the given phase: a row range (scalar) or
 // a supernode range (supernodal) of the factor's task schedule.
+//
+//matex:noalloc
 func (f *LDLT) runTaskBody(phase uint8, t int, work []float64) {
 	switch phase {
 	case phaseFwdScalar:
@@ -379,6 +395,7 @@ type parJob struct {
 	wg     sync.WaitGroup
 }
 
+//matex:noalloc
 func (j *parJob) run() {
 	n := j.f.ntasks()
 	for {
@@ -418,6 +435,8 @@ func startParWorkers() {
 // runTasksPar drains one phase's task schedule on up to workers goroutines
 // (the caller plus workers-1 pool helpers), blocking until every task is
 // done. With a single worker it degrades to a plain sequential loop.
+//
+//matex:noalloc
 func (f *LDLT) runTasksPar(phase uint8, work []float64, workers int) {
 	n := f.ntasks()
 	if workers > n {
@@ -448,6 +467,8 @@ func (f *LDLT) runTasksPar(phase uint8, work []float64, workers int) {
 // every factor entry is loaded once per panel instead of once per
 // right-hand side. dst and b must each hold k vectors of length n (dst[r]
 // and b[r] may alias). The workspace comes from a shared pool.
+//
+//matex:noalloc
 func (f *LDLT) SolveMulti(dst, b [][]float64) {
 	n, k := f.sym.n, len(dst)
 	if k == 0 {
@@ -460,6 +481,8 @@ func (f *LDLT) SolveMulti(dst, b [][]float64) {
 
 // SolveMultiWith is SolveMulti with a caller-provided workspace of length
 // n·k, allowing allocation-free repeated panel solves.
+//
+//matex:noalloc
 func (f *LDLT) SolveMultiWith(dst, b [][]float64, work []float64) {
 	n, k := f.sym.n, len(dst)
 	if len(b) != k {
@@ -504,6 +527,8 @@ func (f *LDLT) SolveMultiWith(dst, b [][]float64, work []float64) {
 }
 
 // solvePanel4 solves exactly four right-hand sides in one factor traversal.
+//
+//matex:noalloc
 func (f *LDLT) solvePanel4(dst, b [][]float64, work []float64) {
 	n := f.sym.n
 	perm := f.sym.perm
@@ -561,6 +586,8 @@ func (f *LDLT) solvePanel4(dst, b [][]float64, work []float64) {
 
 // solvePanelN is the generic interleaved kernel for 1-3 leftover
 // right-hand sides.
+//
+//matex:noalloc
 func (f *LDLT) solvePanelN(dst, b [][]float64, work []float64) {
 	n, k := f.sym.n, len(dst)
 	perm := f.sym.perm

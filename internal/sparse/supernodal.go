@@ -423,6 +423,8 @@ func (s *Symbolic) SupernodeParams() SupernodeParams { return s.params }
 // descendant's rank-w_d update with dense column kernels, then factor the
 // panel in place (right-looking rank-1 sweeps inside the diagonal block,
 // one contiguous scaled column at a time).
+//
+//matex:noalloc
 func (s *Symbolic) refactorSN(f *LDLT, a *CSC) error {
 	sn := s.sn
 	sp := f.snValues
@@ -507,7 +509,7 @@ func (s *Symbolic) refactorSN(f *LDLT, a *CSC) error {
 			ck := base + k*ns
 			dk := sp[ck+k]
 			if dk == 0 || math.IsNaN(dk) {
-				return fmt.Errorf("%w: zero pivot at column %d in LDLT", ErrSingular, c0+k)
+				return fmt.Errorf("%w: zero pivot at column %d in LDLT", ErrSingular, c0+k) //matex:alloc-ok(singular-matrix error path; factorization is abandoned)
 			}
 			dv[c0+k] = dk
 			inv := 1 / dk
@@ -537,6 +539,8 @@ func (s *Symbolic) refactorSN(f *LDLT, a *CSC) error {
 // below-block contribution accumulates contiguously in g, then one scatter
 // through the row list — one random write per below row instead of one per
 // factor entry.
+//
+//matex:noalloc
 func (f *LDLT) fwdSN(work, g []float64) {
 	sn := f.sym.sn
 	sp := f.snValues
@@ -598,6 +602,8 @@ func (f *LDLT) fwdSN(work, g []float64) {
 // bwdOneSN finalizes one supernode of the backward solve Lᵀ·x = work: gather
 // the already-final ancestor rows once, then per column one contiguous dot
 // down the panel.
+//
+//matex:noalloc
 func (f *LDLT) bwdOneSN(t int, work, g []float64) {
 	sn := f.sym.sn
 	sp := f.snValues
@@ -654,6 +660,8 @@ func (f *LDLT) bwdOneSN(t int, work, g []float64) {
 // gather form — reading descendants' panels through the update records and
 // writing only its own rows — which is what lets independent subtree tasks
 // run concurrently without write conflicts.
+//
+//matex:noalloc
 func (f *LDLT) fwdOneSNGather(t int, work []float64) {
 	sn := f.sym.sn
 	sp := f.snValues
@@ -706,6 +714,8 @@ func (f *LDLT) fwdOneSNGather(t int, work []float64) {
 }
 
 // solveSN is the sequential supernodal solve pipeline behind SolveWith.
+//
+//matex:noalloc
 func (f *LDLT) solveSN(dst, b, work []float64) {
 	n := f.sym.n
 	sn := f.sym.sn
@@ -731,6 +741,8 @@ func (f *LDLT) solveSN(dst, b, work []float64) {
 // solvePanelSN solves a panel of k interleaved right-hand sides through the
 // supernodal factor in one traversal: work holds the solutions row-major
 // (work[i*k+r]), g buffers k·maxRows below-block values.
+//
+//matex:noalloc
 func (f *LDLT) solvePanelSN(dst, b [][]float64, work []float64) {
 	n, k := f.sym.n, len(dst)
 	sn := f.sym.sn

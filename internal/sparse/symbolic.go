@@ -222,6 +222,7 @@ func AnalyzeLDLTParams(a *CSC, order Ordering, params SupernodeParams) (*Symboli
 
 	s.buildTasks()
 	s.buildSupernodes(s.params)
+	debugCheckSymbolic(s)
 	return s, nil
 }
 
@@ -590,17 +591,23 @@ func (s *Symbolic) Refactor(a *CSC) (*LDLT, error) {
 // pattern otherwise: no appends, no reach recomputation, no heap allocation
 // either way. It returns ErrSingular on a zero pivot, leaving the factor
 // contents unspecified. Must not race with solves on the same factor.
+//
+//matex:noalloc
 func (s *Symbolic) RefactorInto(f *LDLT, a *CSC) error {
 	if f.sym != s {
-		return fmt.Errorf("sparse: RefactorInto factor belongs to a different analysis")
+		return fmt.Errorf("sparse: RefactorInto factor belongs to a different analysis") //matex:alloc-ok(caller-misuse error path)
 	}
 	// Dimension check only; the pattern itself is trusted to match (callers
 	// key Symbolic lookups by PatternFingerprint).
 	if a.Rows != s.n || a.Cols != s.n {
-		return fmt.Errorf("sparse: RefactorInto dimension mismatch: analysis %d, matrix %dx%d", s.n, a.Rows, a.Cols)
+		return fmt.Errorf("sparse: RefactorInto dimension mismatch: analysis %d, matrix %dx%d", s.n, a.Rows, a.Cols) //matex:alloc-ok(caller-misuse error path)
 	}
 	if s.sn != nil {
-		return s.refactorSN(f, a)
+		if err := s.refactorSN(f, a); err != nil {
+			return err
+		}
+		debugCheckFactor(f)
+		return nil
 	}
 	values, valuesR, d, y := f.values, f.valuesR, f.d, f.y
 	av := a.Values
@@ -638,10 +645,11 @@ func (s *Symbolic) RefactorInto(f *LDLT, a *CSC) error {
 			for i := range y {
 				y[i] = 0
 			}
-			return fmt.Errorf("%w: zero pivot at column %d in LDLT", ErrSingular, k)
+			return fmt.Errorf("%w: zero pivot at column %d in LDLT", ErrSingular, k) //matex:alloc-ok(singular-matrix error path; factorization is abandoned)
 		}
 		d[k] = dk
 	}
+	debugCheckFactor(f)
 	return nil
 }
 

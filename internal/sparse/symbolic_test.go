@@ -446,6 +446,27 @@ func TestRefactorSolveZeroAllocs(t *testing.T) {
 	}); allocs != 0 {
 		t.Fatalf("steady-state refactor+solve allocated %.1f/run, want 0", allocs)
 	}
+
+	// The scalar engine's parallel solve shares the contract (the supernodal
+	// engine has its own guard in supernodal_test.go).
+	scSym, err := AnalyzeLDLTParams(a, OrderRCM, SupernodeParams{Mode: SNNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scF, err := scSym.Refactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scF.ParSolveWith(x, b, work, 4) // warm the worker pool outside the guard
+	if !raceEnabled {
+		// The job pool intentionally leaks under the race detector
+		// (sync.Pool drops Puts there).
+		if allocs := testing.AllocsPerRun(50, func() {
+			scF.ParSolveWith(x, b, work, 4)
+		}); allocs != 0 {
+			t.Errorf("scalar ParSolveWith allocates %v/op", allocs)
+		}
+	}
 }
 
 func TestCacheSymbolicTierSharedAcrossShifts(t *testing.T) {

@@ -23,6 +23,14 @@ func ibmSystem(t *testing.T, scale float64) *circuit.System {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The integrators form (C/h + G/2) families from these matrices; catch a
+	// bad stamp here rather than as a downstream factorization failure.
+	if err := sparse.CheckCSC(sys.C); err != nil {
+		t.Fatalf("stamped C violates CSC invariants: %v", err)
+	}
+	if err := sparse.CheckCSC(sys.G); err != nil {
+		t.Fatalf("stamped G violates CSC invariants: %v", err)
+	}
 	return sys
 }
 

@@ -1,0 +1,20 @@
+package transient
+
+import "testing"
+
+// FuzzParseMethod checks the integrator-name parser never panics and that
+// accepted names round-trip through String.
+func FuzzParseMethod(f *testing.F) {
+	for _, s := range []string{"", "matex", "r-matex", "trfixed", "be", "MATEX", "tr", "x"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMethod(s)
+		if err != nil {
+			return
+		}
+		if name := m.String(); name == "" {
+			t.Fatalf("accepted method %q has empty String()", s)
+		}
+	})
+}
