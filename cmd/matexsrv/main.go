@@ -2,13 +2,18 @@
 // HTTP daemon that accepts netlist-deck jobs, runs them through a bounded
 // worker-pool queue over the shared factorization cache, and streams
 // waveform samples incrementally as NDJSON (or SSE) while the integrators
-// advance. SIGINT/SIGTERM drain gracefully: the listener closes, queued
-// and running jobs finish (bounded by -grace), then the process exits 0.
+// advance. SIGINT/SIGTERM drain gracefully: the listener closes, /readyz
+// flips to 503, queued and running jobs finish (bounded by -grace), then
+// the process exits 0. With -state-dir set, accepted jobs survive a crash:
+// specs, periodic integrator checkpoints and results are journaled, and a
+// restart on the same directory resumes interrupted jobs from their last
+// checkpoint instead of step zero.
 //
 // Usage:
 //
 //	matexsrv -listen :8080
 //	matexsrv -listen :8080 -workers 8 -queue 128 -cache-mb 512
+//	matexsrv -listen :8080 -state-dir /var/lib/matex -checkpoint-every 128
 //	matexsrv -dist-workers host1:9090,host2:9090   # matexd fan-out
 //
 // Submit and stream:
@@ -43,6 +48,8 @@ func main() {
 	distWorkers := flag.String("dist-workers", "", "comma-separated matexd TCP addresses for distributed jobs (empty = in-process pool)")
 	order := flag.String("order", "default", "default fill-reducing ordering for jobs that do not set their own: default (=rcm), natural, rcm, mindeg, nd")
 	grace := flag.Duration("grace", 30*time.Second, "drain budget after SIGINT/SIGTERM before running jobs are canceled")
+	stateDir := flag.String("state-dir", "", "durable-job journal directory; jobs survive a crash and resume from their last checkpoint (empty = in-memory only)")
+	cpEvery := flag.Int("checkpoint-every", 0, "journaled-checkpoint cadence in accepted integrator steps (0 = default 128; needs -state-dir)")
 	flag.Parse()
 
 	ord, err := sparse.ParseOrdering(*order)
@@ -50,15 +57,20 @@ func main() {
 		log.Fatalf("matexsrv: %v", err)
 	}
 	cfg := serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: int64(*cacheMB) << 20,
-		Ordering:   ord,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      int64(*cacheMB) << 20,
+		Ordering:        ord,
+		StateDir:        *stateDir,
+		CheckpointEvery: *cpEvery,
 	}
 	if *distWorkers != "" {
 		cfg.DistAddrs = strings.Split(*distWorkers, ",")
 	}
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		log.Fatalf("matexsrv: %v", err)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -72,6 +84,10 @@ func main() {
 	go func() {
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "matexsrv: draining (signal received)")
+		// Flip /readyz to 503 and stop the intake first, so a load balancer
+		// health-checking this instance sees it unready for the whole drain
+		// window while in-flight streams and jobs finish.
+		s.BeginDrain()
 		// Stop accepting requests; in-flight streams get the grace budget
 		// to finish alongside the job-queue drain below.
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)

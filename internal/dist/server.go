@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/faultinject"
 	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
@@ -126,6 +127,16 @@ type WorkerServer struct {
 	// matexd, ServeContext cancellation) finishes what it started before
 	// its connections are severed.
 	calls drainGroup
+	// faults is the injection registry (nil in production). A WorkerCrash
+	// firing simulates kill -9: the crashing Solve call signals crashCh,
+	// ServeContext severs every connection without draining, and the blocked
+	// handler returns only after severed closes — so from the scheduler's
+	// side the reply simply never arrives.
+	faults    *faultinject.Registry
+	crashOnce sync.Once
+	crashCh   chan struct{}
+	severOnce sync.Once
+	severed   chan struct{}
 }
 
 // drainGroup counts in-flight calls and supports a one-way transition to a
@@ -236,6 +247,23 @@ func NewWorkerServerWithCache(cache *sparse.Cache) *WorkerServer {
 		systems:    make(map[uint64]*workerSystem),
 		cache:      cache,
 		workspaces: krylov.NewWorkspacePool(),
+		crashCh:    make(chan struct{}),
+		severed:    make(chan struct{}),
+	}
+}
+
+// SetFaults installs the fault-injection registry consulted at the worker's
+// crash point (faultinject.WorkerCrash). Call before Serve; nil (the
+// default) injects nothing.
+func (w *WorkerServer) SetFaults(r *faultinject.Registry) { w.faults = r }
+
+// crashed reports whether an injected WorkerCrash has fired.
+func (w *WorkerServer) crashed() bool {
+	select {
+	case <-w.crashCh:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -277,6 +305,8 @@ func (w *WorkerServer) Register(args *RegisterArgs, reply *RegisterReply) error 
 }
 
 // Solve runs one zero-state subtask against a registered circuit.
+//
+//matex:ctx-exempt(net/rpc handler signature is fixed; the only blocking receive is the injected-crash hold, released by ServeContext's sever)
 func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	if !w.calls.enter() {
 		return errDraining
@@ -299,6 +329,15 @@ func (w *WorkerServer) Solve(args *SolveArgs, reply *SolveReply) error {
 	res, err := transient.Simulate(ws.sys, req.Method, opts)
 	if err != nil {
 		return fmt.Errorf("dist: group %d: %w", args.Task.GroupID, err)
+	}
+	if w.faults.Hit(faultinject.WorkerCrash) {
+		// Injected kill -9: signal the serving loop to sever every connection
+		// without draining, then hold the handler until it has — the reply is
+		// computed but never leaves the process, exactly what the scheduler
+		// observes when a worker dies after finishing N tasks.
+		w.crashOnce.Do(func() { close(w.crashCh) })
+		<-w.severed
+		return fmt.Errorf("dist: %w", faultinject.ErrInjected)
 	}
 	res.Full = nil // never ships; superposition only needs probes and Final
 	reply.Result = res
@@ -337,12 +376,14 @@ func ServeContext(ctx context.Context, l net.Listener, ws *WorkerServer, grace .
 		g = max(grace[0], 0)
 	}
 
-	// Unblock Accept when the context fires.
+	// Unblock Accept when the context fires or an injected crash lands.
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
 		select {
 		case <-ctx.Done():
+			l.Close()
+		case <-ws.crashCh:
 			l.Close()
 		case <-stop:
 		}
@@ -356,8 +397,8 @@ func ServeContext(ctx context.Context, l net.Listener, ws *WorkerServer, grace .
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if ctx.Err() != nil {
-				break // graceful: drain below
+			if ctx.Err() != nil || ws.crashed() {
+				break // graceful drain, or crash-sever, below
 			}
 			return err
 		}
@@ -372,6 +413,20 @@ func ServeContext(ctx context.Context, l net.Listener, ws *WorkerServer, grace .
 			delete(conns, conn)
 			mu.Unlock()
 		}(conn)
+	}
+
+	if ws.crashed() {
+		// Injected kill -9: no drain, no goodbye — sever every connection
+		// with replies still in flight, release the crashing handler, and
+		// report the injected death to the harness that ran this worker.
+		mu.Lock()
+		for conn := range conns {
+			conn.Close()
+		}
+		mu.Unlock()
+		ws.severOnce.Do(func() { close(ws.severed) })
+		wg.Wait()
+		return fmt.Errorf("dist: worker crashed: %w", faultinject.ErrInjected)
 	}
 
 	// Finish in-flight RPCs (replies travel back over the still-open

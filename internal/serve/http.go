@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,6 +20,7 @@ const maxBodyBytes = 256 << 20
 // Handler returns the service's HTTP API:
 //
 //	GET    /healthz              liveness
+//	GET    /readyz               readiness; 503 once draining begins
 //	GET    /stats                queue, cache and solver-work counters
 //	POST   /v1/jobs              submit a JobSpec, returns the job Status
 //	GET    /v1/jobs              list job statuses
@@ -25,9 +28,17 @@ const maxBodyBytes = 256 << 20
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/jobs/{id}/stream  waveform stream (NDJSON; ?sse=1 for SSE)
 //	POST   /v1/simulate          submit and stream in one request
+//
+// Streams are resumable: every sample carries a monotonic 1-based sequence
+// number (the NDJSON "seq" field; the SSE `id:` line). A dropped NDJSON
+// consumer re-requests with ?from_seq=N to skip the N samples it already
+// has; an SSE client's automatic reconnect sends Last-Event-ID and replays
+// from there — against a journal-backed server this works across a crash
+// and restart too, because restored jobs keep their sample buffers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -60,9 +71,45 @@ func submitCode(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrJournal):
+		return http.StatusInternalServerError // server's disk, not the client's spec
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeSubmitError maps a Submit failure to its status; 429 additionally
+// carries a Retry-After estimate so well-behaved clients back off for about
+// as long as the queue actually needs to open a slot.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	code := submitCode(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	}
+	writeError(w, code, err)
+}
+
+// retryAfter estimates the seconds until a queue slot frees: the backlog
+// (queued + running + the rejected request) times the observed mean job
+// wall time, divided across the workers. With no completed runs yet there
+// is nothing to extrapolate from, so answer 1s; the clamp keeps a pile-up
+// of hour-long jobs from telling clients to go away for a day.
+func (s *Server) retryAfter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runs == 0 {
+		return 1
+	}
+	mean := float64(s.runNanos) / float64(s.runs) / float64(time.Second)
+	backlog := float64(len(s.queue) + s.inFlight + 1)
+	secs := int(math.Ceil(backlog * mean / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 3600 {
+		secs = 3600
+	}
+	return secs
 }
 
 func decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
@@ -88,6 +135,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the load-balancer readiness probe: 200 while accepting
+// jobs, 503 from the moment BeginDrain/Shutdown starts — the instance keeps
+// serving in-flight streams through the drain window, but new traffic
+// should go elsewhere. (Liveness stays /healthz: a draining process is
+// still alive.)
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
 // StatsReply is the /stats payload.
 type StatsReply struct {
 	UptimeSec  float64 `json:"uptime_sec"`
@@ -99,6 +159,9 @@ type StatsReply struct {
 	Completed  uint64  `json:"jobs_completed"`
 	Failed     uint64  `json:"jobs_failed"`
 	Canceled   uint64  `json:"jobs_canceled"`
+	// Resumed counts jobs re-enqueued from the durable journal at startup
+	// (always 0 without -state-dir).
+	Resumed uint64 `json:"jobs_resumed"`
 	// Totals folds the solver work counters of completed jobs; CacheHits
 	// counts factorization acquisitions served from the shared cache, so
 	// any value above the cold-start misses demonstrates cross-job reuse.
@@ -120,6 +183,7 @@ func (s *Server) statsReply() StatsReply {
 		Completed:  s.completed,
 		Failed:     s.failed,
 		Canceled:   s.canceled,
+		Resumed:    s.resumed,
 		Totals:     s.agg,
 	}
 	s.mu.Unlock()
@@ -138,7 +202,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(spec)
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
@@ -194,7 +258,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(spec)
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	s.streamJob(w, r, job)
@@ -217,11 +281,43 @@ type streamTail struct {
 	Stats   any      `json:"stats,omitempty"`
 }
 
-// streamJob replays the job's samples from the start and follows them
-// live, one JSON object per chunk: NDJSON by default, SSE `data:` events
-// with ?sse=1 (or an Accept: text/event-stream header). Each chunk is
-// flushed as written, so a slow consumer sees the waveform grow while the
-// integrator is still inside the run.
+// streamSample is one streamed sample chunk: the Sample plus its monotonic
+// 1-based sequence number — the resume cursor (?from_seq= / Last-Event-ID).
+type streamSample struct {
+	Seq int `json:"seq"`
+	Sample
+}
+
+// streamCursor reads the client's resume position: the number of samples it
+// already holds. ?from_seq=N works on both encodings; an SSE reconnect's
+// Last-Event-ID header (set automatically by EventSource from the `id:`
+// lines) wins when larger. Malformed values fall back to a full replay —
+// the always-correct answer, just a wasteful one.
+func streamCursor(r *http.Request, sse bool) int {
+	cursor := 0
+	if v := r.URL.Query().Get("from_seq"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > cursor {
+			cursor = n
+		}
+	}
+	if sse {
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > cursor {
+				cursor = n
+			}
+		}
+	}
+	return cursor
+}
+
+// streamJob replays the job's samples from the client's cursor (default:
+// the start) and follows them live, one JSON object per chunk: NDJSON by
+// default, SSE `data:` events with ?sse=1 (or an Accept: text/event-stream
+// header). Sample chunks carry their sequence number (NDJSON "seq" field,
+// SSE `id:` line), so a disconnected client resumes exactly where it left
+// off with no gaps and no duplicates. Each chunk is flushed as written, so
+// a slow consumer sees the waveform grow while the integrator is still
+// inside the run.
 func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 	sse := r.URL.Query().Get("sse") == "1" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -234,13 +330,20 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 	w.Header().Set("X-Accel-Buffering", "no")
 	flusher, _ := w.(http.Flusher)
 
-	emit := func(v any) bool {
+	// emit writes one chunk; seq > 0 marks a sample chunk and becomes the
+	// SSE event ID (header and tail chunks carry none, so they never move
+	// a reconnecting client's cursor).
+	emit := func(seq int, v any) bool {
 		data, err := json.Marshal(v)
 		if err != nil {
 			return false
 		}
 		if sse {
-			_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+			if seq > 0 {
+				_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, data)
+			} else {
+				_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+			}
 		} else {
 			_, err = fmt.Fprintf(w, "%s\n", data)
 		}
@@ -254,14 +357,14 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 	}
 
 	st := job.Status()
-	if !emit(streamHeader{ID: job.ID, Probes: st.Probes}) {
+	if !emit(0, streamHeader{ID: job.ID, Probes: st.Probes}) {
 		return
 	}
-	i := 0
+	i := streamCursor(r, sse)
 	for {
 		batch, state, ch := job.snapshotFrom(i)
-		for _, smp := range batch {
-			if !emit(smp) {
+		for k, smp := range batch {
+			if !emit(i+k+1, streamSample{Seq: i + k + 1, Sample: smp}) {
 				return
 			}
 		}
@@ -280,5 +383,5 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 	if final.Stats != nil {
 		tail.Stats = final.Stats
 	}
-	emit(tail)
+	emit(0, tail)
 }

@@ -202,10 +202,18 @@ type Job struct {
 	built     *builtJob
 	submitted time.Time
 
+	// jn is the server's durable journal (nil on in-memory servers) and
+	// resume the checkpoint a journal-restored job re-enters the integrator
+	// from (nil = run from the start). Both are set before the job is
+	// published and never change.
+	jn     *journal
+	resume *transient.Checkpoint
+
 	mu       sync.Mutex
 	notify   chan struct{} // closed and replaced on every append/state change
 	state    JobState
 	samples  []Sample
+	flushed  int // samples[:flushed] are journaled (covered by a checkpoint)
 	err      error
 	stats    *transient.Stats
 	report   *dist.Report
@@ -238,6 +246,35 @@ func (j *Job) appendSample(t float64, v []float64) {
 	j.samples = append(j.samples, Sample{T: t, V: append([]float64(nil), v...)})
 	j.broadcast()
 	j.mu.Unlock()
+}
+
+// journalCheckpoint is the transient.Options.OnCheckpoint hook of a
+// journal-backed job: flush the not-yet-durable samples first, then the
+// fsynced checkpoint record — the order that guarantees every sample at or
+// before a durable checkpoint's time is itself durable, which is what lets
+// a resumed run (re-emitting samples after cp.T) splice onto the restored
+// buffer with no gaps and no duplicates. A failed append aborts the run:
+// the integrator surfaces the error and the job fails rather than keep
+// computing results the journal cannot make durable.
+func (j *Job) journalCheckpoint(cp transient.Checkpoint) error {
+	j.mu.Lock()
+	from := j.flushed
+	batch := j.samples[from:len(j.samples):len(j.samples)]
+	j.mu.Unlock()
+	if len(batch) > 0 {
+		if err := j.jn.appendSamples(j.ID, from, batch); err != nil {
+			return err
+		}
+	}
+	if err := j.jn.appendCheckpoint(j.ID, cp); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if from+len(batch) > j.flushed {
+		j.flushed = from + len(batch)
+	}
+	j.mu.Unlock()
+	return nil
 }
 
 // markRunning transitions queued → running; it reports false when the job

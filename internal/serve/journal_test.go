@@ -1,0 +1,363 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/matex-sim/matex/internal/faultinject"
+	"github.com/matex-sim/matex/internal/serve"
+)
+
+// jsonDecode decodes a JSON response body and closes it.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// streamNDJSON consumes an NDJSON stream: GET on a stream URL, or POST when
+// a spec is given (/v1/simulate). Blocks until the done tail arrives.
+func streamNDJSON(t *testing.T, url string, spec ...serve.JobSpec) *streamedJob {
+	t.Helper()
+	var resp *http.Response
+	if len(spec) > 0 {
+		resp = postJSON(t, url, spec[0])
+	} else {
+		var err error
+		if resp, err = http.Get(url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return readStream(t, sc)
+}
+
+// guardGoroutines snapshots the goroutine count and returns a check that
+// fails the test if it has not returned to (near) the baseline — the
+// chaos suites' no-leak assertion.
+func guardGoroutines(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > base+2 {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d at start, %d now\n%s", base, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// journalPath is where the server keeps its journal under a state dir.
+func journalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
+
+// waitForJournal polls the journal file until it holds a mid-run snapshot:
+// marker present, but no terminal record yet — what a kill -9 during the
+// run would have left behind. A journal that reaches "done" before a
+// marker-bearing snapshot was captured fails the test (the job must be
+// slow enough to catch mid-run).
+func waitForJournal(t *testing.T, path, marker string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		b, err := os.ReadFile(path)
+		if err == nil && strings.Contains(string(b), marker) {
+			if strings.Contains(string(b), `"rec":"done"`) {
+				t.Fatalf("journal reached a terminal record before a mid-run snapshot could be taken")
+			}
+			return b
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal %s never contained %q", path, marker)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getStats(t *testing.T, base string) serve.StatsReply {
+	t.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsReply
+	if err := jsonDecode(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestReadyzFlipsOnDrainAndRetryAfterOn429: /readyz answers 200 while the
+// intake is open and 503 the moment draining begins (while /healthz stays
+// 200 — the process is alive, just not accepting), and a 429 rejection
+// carries a Retry-After estimate derived from the backlog.
+func TestReadyzFlipsOnDrainAndRetryAfter(t *testing.T) {
+	deckText := testDeck(t)
+	srv, base, shutdown := testServer(t, serve.Config{Workers: 1, QueueDepth: 1})
+	defer shutdown(context.Background())
+
+	ready, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d before drain, want 200", ready.StatusCode)
+	}
+
+	// Saturate: one slow job running, one queued; the third answers 429
+	// with a Retry-After estimate.
+	// ~100k fixed steps: slow enough that the single worker is pinned while
+	// the queue fills behind it (the jobs are canceled at the end).
+	slow := serve.JobSpec{Netlist: deckText, Method: "tr", Step: 1e-13}
+	first := postJSON(t, base+"/v1/jobs", slow)
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d", first.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp := postJSON(t, base+"/v1/jobs", slow)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if after := resp.Header.Get("Retry-After"); after == "" || after == "0" {
+				t.Fatalf("429 without a usable Retry-After (%q)", after)
+			}
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("overload submit status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+
+	srv.BeginDrain()
+	ready, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d during drain, want 503", ready.StatusCode)
+	}
+	alive, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive.Body.Close()
+	if alive.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d during drain, want 200", alive.StatusCode)
+	}
+	// Unblock the drain: the slow jobs would otherwise run for a while.
+	for _, j := range srv.Jobs() {
+		j.Cancel()
+	}
+}
+
+// TestCrashRestartResumesFromCheckpoint is the kill -9 acceptance test: a
+// journal-backed server is interrupted mid-job, a second server starts on
+// the journal as it existed at the interruption instant, resumes the job
+// from its last durable checkpoint, and the stitched waveform (restored
+// samples + resumed tail) matches the uninterrupted run to <= 1e-12 with
+// the exact same time grid — no gaps, no duplicates.
+//
+// The "crash" is a byte-for-byte copy of the append-only journal taken
+// while server A is mid-run: that file is exactly what a SIGKILLed process
+// would have left on disk at that instant (the real-signal version lives in
+// scripts/e2e_smoke.sh). Server A then finishes cleanly to provide the
+// uninterrupted reference.
+func TestCrashRestartResumesFromCheckpoint(t *testing.T) {
+	leak := guardGoroutines(t)
+	deckText := testDeck(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+
+	_, baseA, shutdownA := testServer(t, serve.Config{
+		Workers: 1, QueueDepth: 4, StateDir: dirA, CheckpointEvery: 100,
+	})
+	// A deliberately long fixed-step run (5000 steps) so the mid-run journal
+	// snapshot below is guaranteed to land while the integrator is inside it.
+	resp := postJSON(t, baseA+"/v1/jobs", serve.JobSpec{Netlist: deckText, Method: "tr", Step: 2e-12})
+	var st serve.Status
+	if err := jsonDecode(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	// Snapshot the journal once it provably holds a mid-run checkpoint.
+	snapshot := waitForJournal(t, journalPath(dirA), `"rec":"checkpoint"`)
+	if err := os.WriteFile(journalPath(dirB), snapshot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let A finish untouched: its stream is the uninterrupted reference.
+	ref := streamNDJSON(t, baseA+"/v1/jobs/"+st.ID+"/stream")
+	if ref.state != serve.JobDone {
+		t.Fatalf("reference job ended %s (%s)", ref.state, ref.tailErr)
+	}
+	if err := shutdownA(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server B starts on the snapshot: the job must come back under its
+	// original ID, resume from the checkpoint, and complete.
+	_, baseB, shutdownB := testServer(t, serve.Config{
+		Workers: 1, QueueDepth: 4, StateDir: dirB, CheckpointEvery: 100,
+	})
+	defer func() {
+		if err := shutdownB(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		leak()
+	}()
+	if stats := getStats(t, baseB); stats.Resumed != 1 {
+		t.Fatalf("restarted server resumed %d jobs, want 1", stats.Resumed)
+	}
+	got := streamNDJSON(t, baseB+"/v1/jobs/"+st.ID+"/stream")
+	if got.state != serve.JobDone {
+		t.Fatalf("resumed job ended %s (%s)", got.state, got.tailErr)
+	}
+
+	if len(got.times) != len(ref.times) {
+		t.Fatalf("resumed waveform has %d samples, reference %d", len(got.times), len(ref.times))
+	}
+	for i := range ref.times {
+		if got.times[i] != ref.times[i] {
+			t.Fatalf("time grid diverges at %d: %g vs %g (gap or duplicate)", i, got.times[i], ref.times[i])
+		}
+		for k := range ref.rows[i] {
+			if d := math.Abs(got.rows[i][k] - ref.rows[i][k]); d > 1e-12 {
+				t.Fatalf("resumed waveform deviates %g at t=%g (probe %d)", d, ref.times[i], k)
+			}
+		}
+	}
+}
+
+// TestRestartPrunesCompletedJobs: a finished job's journal entries are
+// compacted away on restart, nothing is resumed, and the job counter keeps
+// counting past every journaled ID (no reuse after restart).
+func TestRestartPrunesCompletedJobs(t *testing.T) {
+	deckText := testDeck(t)
+	dir := t.TempDir()
+
+	_, base, shutdown := testServer(t, serve.Config{Workers: 1, QueueDepth: 4, StateDir: dir})
+	done := streamNDJSON(t, base+"/v1/simulate", serve.JobSpec{Netlist: deckText, Method: "rmatex", Tol: 1e-6})
+	if done.state != serve.JobDone {
+		t.Fatalf("job ended %s (%s)", done.state, done.tailErr)
+	}
+	if err := shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, base2, shutdown2 := testServer(t, serve.Config{Workers: 1, QueueDepth: 4, StateDir: dir})
+	defer shutdown2(context.Background())
+	stats := getStats(t, base2)
+	if stats.Resumed != 0 {
+		t.Fatalf("restart resumed %d completed jobs", stats.Resumed)
+	}
+	if b, err := os.ReadFile(journalPath(dir)); err != nil || strings.Contains(string(b), `"rec":"spec"`) {
+		t.Fatalf("journal not compacted after restart (err=%v, %d bytes)", err, len(b))
+	}
+	resp := postJSON(t, base2+"/v1/jobs", serve.JobSpec{Netlist: deckText, Method: "rmatex", Tol: 1e-6})
+	var st serve.Status
+	if err := jsonDecode(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "job-2" {
+		t.Fatalf("restarted server issued %s, want job-2 (counter must outlive restarts)", st.ID)
+	}
+}
+
+// TestJournalAppendFaultRejectsSubmit injects a journal-append failure
+// (disk full) at submit: the submission is rejected with the typed journal
+// error over HTTP as a 500, the server stays healthy, and the next submit
+// succeeds — an accepted job is always a durable job.
+func TestJournalAppendFaultRejectsSubmit(t *testing.T) {
+	leak := guardGoroutines(t)
+	deckText := testDeck(t)
+	reg := faultinject.New(42)
+	reg.Arm(faultinject.JournalAppend, faultinject.Plan{Times: 1})
+
+	srv, base, shutdown := testServer(t, serve.Config{
+		Workers: 1, QueueDepth: 4, StateDir: t.TempDir(), Fault: reg,
+	})
+	defer func() {
+		if err := shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		leak()
+	}()
+
+	_, err := srv.Submit(serve.JobSpec{Netlist: deckText, Method: "rmatex", Tol: 1e-6})
+	if !errors.Is(err, serve.ErrJournal) || !faultinject.IsInjected(err) {
+		t.Fatalf("faulted submit returned %v, want ErrJournal wrapping an injected fault", err)
+	}
+	if reg.Fired(faultinject.JournalAppend) != 1 {
+		t.Fatalf("fault fired %d times", reg.Fired(faultinject.JournalAppend))
+	}
+
+	// HTTP mapping: arm one more and check the 500.
+	reg.Arm(faultinject.JournalAppend, faultinject.Plan{Times: 1})
+	resp := postJSON(t, base+"/v1/jobs", serve.JobSpec{Netlist: deckText, Method: "rmatex", Tol: 1e-6})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted submit answered %d, want 500", resp.StatusCode)
+	}
+
+	// The fault is spent: the service accepts and completes the next job.
+	done := streamNDJSON(t, base+"/v1/simulate", serve.JobSpec{Netlist: deckText, Method: "rmatex", Tol: 1e-6})
+	if done.state != serve.JobDone {
+		t.Fatalf("post-fault job ended %s (%s)", done.state, done.tailErr)
+	}
+}
+
+// TestCheckpointWriteFaultFailsJob injects a torn checkpoint write mid-run:
+// the job fails with the injected error (never silently keeps running with
+// a broken durability story), and a restart does not resurrect it — its
+// terminal record made the outcome durable.
+func TestCheckpointWriteFaultFailsJob(t *testing.T) {
+	leak := guardGoroutines(t)
+	deckText := testDeck(t)
+	dir := t.TempDir()
+	reg := faultinject.New(7)
+	reg.Arm(faultinject.CheckpointWrite, faultinject.Plan{Times: 1})
+
+	_, base, shutdown := testServer(t, serve.Config{
+		Workers: 1, QueueDepth: 4, StateDir: dir, CheckpointEvery: 10, Fault: reg,
+	})
+	got := streamNDJSON(t, base+"/v1/simulate", serve.JobSpec{Netlist: deckText, Method: "tr"})
+	if got.state != serve.JobFailed {
+		t.Fatalf("checkpoint-faulted job ended %s, want failed", got.state)
+	}
+	if !strings.Contains(got.tailErr, "injected fault") {
+		t.Fatalf("job error %q does not surface the injected fault", got.tailErr)
+	}
+	if err := shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	leak()
+
+	_, base2, shutdown2 := testServer(t, serve.Config{Workers: 1, QueueDepth: 4, StateDir: dir})
+	defer shutdown2(context.Background())
+	if stats := getStats(t, base2); stats.Resumed != 0 {
+		t.Fatalf("failed job resurrected on restart (%d resumed)", stats.Resumed)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/dist"
+	"github.com/matex-sim/matex/internal/faultinject"
 	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/sparse"
 	"github.com/matex-sim/matex/internal/transient"
@@ -51,6 +52,26 @@ type Config struct {
 	// exceeded, the oldest terminal jobs are evicted. Queued and running
 	// jobs are never evicted. 0 = 256.
 	MaxRetainedJobs int
+	// StateDir, when non-empty, makes jobs durable: an append-only journal
+	// under it records specs at submit, integrator checkpoints (plus the
+	// sample batches they cover) as jobs run, and terminal results. On
+	// startup the server replays the journal, re-enqueues interrupted jobs
+	// from their last checkpoint (transient.Resume over the shared
+	// factorization cache — recovery pays no re-analysis), and prunes
+	// completed entries. Empty keeps jobs in-memory only (pre-journal
+	// behavior).
+	StateDir string
+	// CheckpointEvery is the journaled-checkpoint cadence in accepted
+	// integrator steps (0 = the transient default, 128). Smaller values
+	// shrink the recovery window after a crash at the cost of more journal
+	// I/O; it only applies when StateDir is set. Distributed jobs do not
+	// checkpoint (their subtasks run remotely) — interrupted ones restart
+	// from scratch.
+	CheckpointEvery int
+	// Fault is the fault-injection registry consulted at the journal's
+	// append points (faultinject.JournalAppend, faultinject.CheckpointWrite).
+	// Nil — the production value — injects nothing.
+	Fault *faultinject.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +142,9 @@ type Server struct {
 	pools     map[string]dist.Pool
 	poolOrder []string // pool insertion order, for eviction
 
+	// journal is the durable job log (nil without Config.StateDir).
+	journal *journal
+
 	mu        sync.Mutex
 	jobs      map[string]*Job
 	order     []string // submission order, for listing
@@ -131,31 +155,100 @@ type Server struct {
 	completed uint64
 	failed    uint64
 	canceled  uint64
+	resumed   uint64 // jobs re-enqueued from the journal at startup
 	agg       totals
+	// runs/runNanos accumulate the wall time of every job a worker actually
+	// ran (terminal, including failed/canceled runs) — the mean-latency
+	// input of the 429 Retry-After estimate.
+	runs     uint64
+	runNanos int64
 }
 
-// New starts a Server's worker pool and returns it.
+// New starts a Server's worker pool and returns it. With Config.StateDir
+// set it first replays the durable job journal: interrupted jobs are
+// re-enqueued (from their last checkpoint when they have one) ahead of any
+// new submission, completed entries are pruned, and the job counter resumes
+// past every journaled ID. The error return is the journal's — an
+// in-memory server (empty StateDir) cannot fail.
 //
 //matex:ctx-root(server lifecycle root; every job derives its per-job context from it)
-func New(cfg Config) *Server {
+//matex:ctx-exempt(the restore-queue send cannot block: the queue is sized QueueDepth+len(restored) and the workers have not started)
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+
+	var (
+		jn       *journal
+		restored []*restoredJob
+		maxSeq   uint64
+	)
+	if cfg.StateDir != "" {
+		var err error
+		if jn, restored, maxSeq, err = openJournal(cfg.StateDir, cfg.Fault); err != nil {
+			return nil, err
+		}
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		cache:      sparse.NewCache(cfg.CacheBytes),
 		workspaces: krylov.NewWorkspacePool(),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		queue:      make(chan *Job, cfg.QueueDepth+len(restored)),
 		baseCtx:    ctx,
 		stop:       cancel,
 		start:      time.Now(),
 		jobs:       make(map[string]*Job),
 		pools:      make(map[string]dist.Pool),
+		journal:    jn,
+		seq:        maxSeq,
+	}
+	// Re-enqueue interrupted jobs before the workers start: they keep their
+	// IDs, their journal-restored sample buffers (every sample at or before
+	// the checkpoint), and resume mid-waveform via transient.Resume. A spec
+	// that no longer builds (it validated once, so only environment drift
+	// can break it) surfaces as a failed job rather than a lost one.
+	for _, r := range restored {
+		job, err := s.restoreJob(r)
+		if err != nil {
+			continue
+		}
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.accepted++
+		s.resumed++
+		s.queue <- job
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// restoreJob rebuilds one journal-replayed job: re-parse and re-stamp the
+// spec (the journal stores the spec, not the stamped matrices), reattach
+// the restored samples, and carry the resume checkpoint. A failed rebuild
+// is recorded as a failed job so the client sees the outcome.
+func (s *Server) restoreJob(r *restoredJob) (*Job, error) {
+	built, err := r.spec.build()
+	if err != nil {
+		job := newJob(r.id, r.spec, &builtJob{})
+		job.state = JobFailed
+		job.err = fmt.Errorf("serve: restoring job from journal: %w", err)
+		job.finished = time.Now()
+		s.jobs[r.id] = job
+		s.order = append(s.order, r.id)
+		return nil, err
+	}
+	if built.order == sparse.OrderDefault {
+		built.order = s.cfg.Ordering
+	}
+	job := newJob(r.id, r.spec, built)
+	job.jn = s.journal
+	job.samples = r.samples
+	job.flushed = len(r.samples)
+	job.resume = r.cp
+	return job, nil
 }
 
 // CacheStats exposes the shared factorization cache counters.
@@ -163,7 +256,9 @@ func (s *Server) CacheStats() sparse.CacheStats { return s.cache.Stats() }
 
 // Submit validates, stamps and enqueues a job. The returned job is already
 // visible to Job/stream lookups. Errors: spec problems (client's fault),
-// ErrQueueFull, ErrShuttingDown.
+// ErrQueueFull, ErrShuttingDown, ErrJournal (durable servers only).
+//
+//matex:ctx-exempt(the queue send cannot block: capacity is checked under s.mu and Submit is the only sender)
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	// Reject cheap-to-detect overload before paying for the parse + stamp:
 	// a saturated or draining server answers without building the system.
@@ -192,15 +287,30 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	s.seq++
-	job := newJob(fmt.Sprintf("job-%d", s.seq), spec, built)
-	select {
-	case s.queue <- job:
-	default:
-		s.seq--
+	// Capacity check before the journal append: Submit is the only queue
+	// sender and it holds s.mu, so the queue can only drain between here and
+	// the send below — the send cannot block, and a journaled spec is never
+	// orphaned by a full queue.
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		return nil, ErrQueueFull
 	}
+	s.seq++
+	job := newJob(fmt.Sprintf("job-%d", s.seq), spec, built)
+	job.jn = s.journal
+	// Journal the spec before the job becomes visible: an accepted job is a
+	// durable job. The fsync happens under s.mu so journal order matches ID
+	// order; submissions are not a hot path. A failed append rejects the
+	// submission (ErrJournal → 500) rather than accepting work a crash
+	// would silently lose.
+	if s.journal != nil {
+		if err := s.journal.appendSpec(job.ID, s.seq, spec); err != nil {
+			s.seq--
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	s.queue <- job
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.accepted++
@@ -281,6 +391,10 @@ func (s *Server) runJob(job *Job) {
 		s.canceled++
 		s.pruneLocked()
 		s.mu.Unlock()
+		if s.journal != nil {
+			st := job.Status()
+			s.journal.appendDone(job.ID, st.State, st.Error) //matex:err-ok(cancellation already took effect; a lost done record only costs a redundant restore after restart)
+		}
 		return
 	}
 	s.mu.Lock()
@@ -288,6 +402,7 @@ func (s *Server) runJob(job *Job) {
 	s.mu.Unlock()
 
 	b := job.built
+	runStart := time.Now()
 	var (
 		res *transient.Result
 		rep *dist.Report
@@ -296,7 +411,7 @@ func (s *Server) runJob(job *Job) {
 	if job.Spec.Distributed {
 		res, rep, err = s.runDistributed(ctx, job.built, job.Spec, job.appendSample)
 	} else {
-		res, err = transient.Simulate(b.sys, b.method, transient.Options{
+		opts := transient.Options{
 			Tstop:        b.tstop,
 			Step:         b.step,
 			Probes:       b.probes,
@@ -310,7 +425,16 @@ func (s *Server) runJob(job *Job) {
 			Workspaces:   s.workspaces,
 			Ctx:          ctx,
 			OnSample:     job.appendSample,
-		})
+		}
+		if s.journal != nil {
+			opts.OnCheckpoint = job.journalCheckpoint
+			opts.CheckpointEvery = s.cfg.CheckpointEvery
+		}
+		if job.resume != nil {
+			res, err = transient.Resume(b.sys, b.method, opts, *job.resume)
+		} else {
+			res, err = transient.Simulate(b.sys, b.method, opts)
+		}
 	}
 	// Fold the outcome into the server counters BEFORE finish() makes the
 	// terminal state visible: a client that watches the stream's done tail
@@ -319,6 +443,8 @@ func (s *Server) runJob(job *Job) {
 	// once it is terminal.
 	s.mu.Lock()
 	s.inFlight--
+	s.runs++
+	s.runNanos += int64(time.Since(runStart))
 	switch {
 	case err == nil:
 		s.completed++
@@ -330,6 +456,15 @@ func (s *Server) runJob(job *Job) {
 	}
 	s.mu.Unlock()
 	job.finish(res, rep, err)
+	if s.journal != nil {
+		// The terminal record prunes the job from the next restart's replay.
+		// At-least-once: finish() already published the outcome, so a crash
+		// between finish and this append merely re-runs a completed job —
+		// and a failed append here is the same crash window, not a new
+		// failure mode worth failing the finished job over.
+		st := job.Status()
+		s.journal.appendDone(job.ID, st.State, st.Error) //matex:err-ok(outcome already published; a lost done record only costs a redundant re-run after restart)
+	}
 	s.mu.Lock()
 	s.pruneLocked()
 	s.mu.Unlock()
@@ -477,31 +612,54 @@ func deckKey(spec JobSpec) string {
 	return fmt.Sprintf("netlist:%016x", h)
 }
 
-// Shutdown drains the service: no new submissions, queued and running jobs
-// finish, then the workers exit. If ctx fires first, running jobs are
-// canceled (they unwind at their next step boundary) and Shutdown returns
-// the context error after they do. Safe to call more than once.
-func (s *Server) Shutdown(ctx context.Context) error {
+// BeginDrain stops the intake: submissions fail with ErrShuttingDown, the
+// readiness probe flips to 503, and the queue is closed so the workers exit
+// once it drains. Jobs already queued or running are unaffected. Idempotent;
+// Shutdown calls it implicitly — calling it first lets a load balancer see
+// the instance unready for its full drain window.
+func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	if !s.closing {
 		s.closing = true
 		close(s.queue)
 	}
 	s.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain/Shutdown has begun (the /readyz input).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+// Shutdown drains the service: no new submissions, queued and running jobs
+// finish, then the workers exit. If ctx fires first, running jobs are
+// canceled (they unwind at their next step boundary) and Shutdown returns
+// the context error after they do. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		s.closePools()
-		return nil
 	case <-ctx.Done():
 		s.stop() // cancel in-flight jobs; they abort at the next boundary
 		<-done
-		s.closePools()
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.closePools()
+	if s.journal != nil {
+		// Workers are gone, so nothing appends concurrently. Jobs the ctx
+		// cancellation unwound were journaled done (canceled) by their
+		// workers — graceful shutdown is a terminal outcome, not a crash;
+		// only a kill without a done record resumes on the next start.
+		s.journal.Close() //matex:err-ok(shutdown path; every record that matters was fsynced at append time)
+	}
+	return err
 }

@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -87,7 +88,10 @@ func oneShot(t *testing.T, deckText string, method transient.Method) *transient.
 // its base URL plus a shutdown helper.
 func testServer(t *testing.T, cfg serve.Config) (*serve.Server, string, func(ctx context.Context) error) {
 	t.Helper()
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -342,7 +346,8 @@ func TestJobQueueAndStatusEndpoints(t *testing.T) {
 	}
 }
 
-// TestSSEStreamFormat: ?sse=1 wraps every chunk as an SSE data event.
+// TestSSEStreamFormat: ?sse=1 wraps every chunk as an SSE data event, with
+// sample events carrying monotonic `id:` lines (the reconnect cursor).
 func TestSSEStreamFormat(t *testing.T) {
 	deckText := testDeck(t)
 	_, base, shutdown := testServer(t, serve.Config{Workers: 1, QueueDepth: 4})
@@ -359,19 +364,28 @@ func TestSSEStreamFormat(t *testing.T) {
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	events := 0
+	events, lastID := 0, 0
 	for sc.Scan() {
 		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if !strings.HasPrefix(line, "data: ") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil || id != lastID+1 {
+				t.Fatalf("event id %q after id %d", line, lastID)
+			}
+			lastID = id
+		case strings.HasPrefix(line, "data: "):
+			events++
+		default:
 			t.Fatalf("non-SSE line %q", line)
 		}
-		events++
 	}
 	if events < 3 { // header + >=1 sample + tail
 		t.Fatalf("only %d SSE events", events)
+	}
+	if lastID == 0 {
+		t.Fatal("no sample event carried an id: line")
 	}
 }
 

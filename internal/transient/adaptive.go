@@ -90,8 +90,23 @@ func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 	var xPrev []float64
 	hPrev := 0.0
 
-	res.record(0, x, &opts)
 	t := 0.0
+	cpr := newCheckpointer(&opts)
+	if cp := opts.resumeFrom; cp != nil {
+		// Resume restores the full controller state — proposed step and the
+		// accepted history the LTE predictor extrapolates through — so the
+		// remaining step sequence is the uninterrupted run's.
+		t = cp.T
+		if cp.H > 0 {
+			h = cp.H
+		}
+		hPrev = cp.HPrev
+		if cp.XPrev != nil {
+			xPrev = append([]float64(nil), cp.XPrev...)
+		}
+	} else {
+		res.record(0, x, &opts)
+	}
 	for t < opts.Tstop-waveform.SpotEps {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
@@ -158,6 +173,22 @@ func simulateAdaptiveTR(sys *circuit.System, opts Options) (*Result, error) {
 		}
 		grow = math.Min(2.0, math.Max(0.3, grow))
 		h = hStep * grow
+
+		// Checkpoint after the controller update so the snapshot carries the
+		// next proposed step, not the one just taken.
+		err := cpr.maybe(&res.Stats, func() Checkpoint {
+			return Checkpoint{
+				Method: TRAdaptive.Name(),
+				T:      t,
+				X:      append([]float64(nil), x...),
+				H:      h,
+				HPrev:  hPrev,
+				XPrev:  append([]float64(nil), xPrev...),
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Final = append([]float64(nil), x...)
 	return res, nil

@@ -3,6 +3,7 @@ package transient
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
@@ -123,8 +124,21 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 		res.record(t1, x, &opts)
 	}
 
-	res.record(0, x, &opts)
-	for k := 0; k < nFull; k++ {
+	// Resuming re-enters the step loop at the checkpointed boundary: the
+	// checkpoint time must sit on the step grid (checkpoints are only taken
+	// at accepted full steps), and every sample at or before it was already
+	// recorded by the interrupted run.
+	k0 := 0
+	cpr := newCheckpointer(&opts)
+	if cp := opts.resumeFrom; cp != nil {
+		k0 = int(cp.T/h + 0.5)
+		if k0 < 0 || k0 > nFull || math.Abs(float64(k0)*h-cp.T) > h*1e-9 {
+			return nil, fmt.Errorf("transient: checkpoint time %g is not on the h=%g step grid", cp.T, h)
+		}
+	} else {
+		res.record(0, x, &opts)
+	}
+	for k := k0; k < nFull; k++ {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
 		}
@@ -134,6 +148,12 @@ func simulateFixed(sys *circuit.System, method Method, opts Options) (*Result, e
 			t1 = opts.Tstop // land exactly on the window end
 		}
 		step(t0, t1, h, lhs, rhsMat)
+		err := cpr.maybe(&res.Stats, func() Checkpoint {
+			return Checkpoint{Method: method.Name(), T: t1, X: append([]float64(nil), x...)}
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if rem > 0 {
 		lhsRem, rhsRem := lhs, rhsMat

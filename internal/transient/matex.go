@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
@@ -121,13 +122,24 @@ func SimulateMatex(sys *circuit.System, method Method, opts Options) (*Result, e
 	hChecks := make([]float64, 0, 2)
 	kopts := krylov.Options{MaxDim: opts.MaxDim, Tol: opts.Tol, Method: opts.Krylov, Workspace: ws}
 
-	if waveform.ContainsSpot(outs, 0) {
-		res.record(0, x, &opts)
-	}
-
 	gi := 0        // index of the last emitted output grid point
 	tBase := 0.0   // time of the current base state x
 	buScale := 0.0 // largest |B·u| endpoint magnitude seen so far
+	cpr := newCheckpointer(&opts)
+	if cp := opts.resumeFrom; cp != nil {
+		// Resume at the checkpointed segment boundary: gi points at the last
+		// grid point the interrupted run emitted, and the restored buScale
+		// keeps the flatness tests (and hence the Lanczos-shift decisions)
+		// identical to the uninterrupted run's.
+		tBase = cp.T
+		buScale = cp.BuScale
+		gi = sort.SearchFloat64s(grid, cp.T+waveform.SpotEps) - 1
+		if gi < 0 {
+			gi = 0
+		}
+	} else if waveform.ContainsSpot(outs, 0) {
+		res.record(0, x, &opts)
+	}
 	for tBase < opts.Tstop-waveform.SpotEps {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
@@ -264,6 +276,12 @@ func SimulateMatex(sys *circuit.System, method Method, opts Options) (*Result, e
 		}
 		copy(x, xaug[:n])
 		tBase = segEnd
+		err = cpr.maybe(&res.Stats, func() Checkpoint {
+			return Checkpoint{Method: method.Name(), T: tBase, X: append([]float64(nil), x...), BuScale: buScale}
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Final = append([]float64(nil), x...)
 	return res, nil

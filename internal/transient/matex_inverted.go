@@ -3,6 +3,7 @@ package transient
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/matex-sim/matex/internal/circuit"
@@ -87,12 +88,21 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 	hChecks := make([]float64, 0, 2)
 	kopts := krylov.Options{MaxDim: opts.MaxDim, Tol: opts.Tol, Method: opts.Krylov, Workspace: ws}
 
-	if waveform.ContainsSpot(outs, 0) {
-		res.record(0, x, &opts)
-	}
-
 	gi := 0
 	tBase := 0.0
+	cpr := newCheckpointer(&opts)
+	if cp := opts.resumeFrom; cp != nil {
+		// See SimulateMatex: resume at the checkpointed segment boundary with
+		// gi pointing at the last emitted grid point. The Eq. 5 path has no
+		// buScale accumulator — its input terms are rebuilt per segment.
+		tBase = cp.T
+		gi = sort.SearchFloat64s(grid, cp.T+waveform.SpotEps) - 1
+		if gi < 0 {
+			gi = 0
+		}
+	} else if waveform.ContainsSpot(outs, 0) {
+		res.record(0, x, &opts)
+	}
 	for tBase < opts.Tstop-waveform.SpotEps {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
@@ -197,6 +207,12 @@ func simulateMatexFP(sys *circuit.System, method Method, opts Options) (*Result,
 		}
 		copy(x, xe)
 		tBase = segEnd
+		err = cpr.maybe(&res.Stats, func() Checkpoint {
+			return Checkpoint{Method: method.Name(), T: tBase, X: append([]float64(nil), x...)}
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Final = append([]float64(nil), x...)
 	return res, nil

@@ -176,6 +176,21 @@ type Options struct {
 	// fires, so a canceled or deadline-expired job stops mid-simulation
 	// instead of running to Tstop. Nil means no cancellation.
 	Ctx context.Context `json:"-"`
+	// OnCheckpoint, when non-nil, is called synchronously with a restartable
+	// snapshot every CheckpointEvery accepted steps — the durability hook
+	// the serving layer journals from, paired with Resume on the other side
+	// of a crash. The snapshot owns its slices (safe to retain). A non-nil
+	// return aborts the run with the error wrapped, so a persistence layer
+	// that cannot record progress can choose to stop instead of running
+	// uncheckpointed.
+	OnCheckpoint func(cp Checkpoint) error `json:"-"`
+	// CheckpointEvery is the OnCheckpoint cadence in accepted steps;
+	// 0 defaults to 128 when the hook is set. Smaller values shrink the
+	// recovery window at the cost of more snapshot I/O.
+	CheckpointEvery int
+	// resumeFrom, when non-nil, re-enters the integrator mid-waveform
+	// instead of starting from DC. Set via Resume, never directly.
+	resumeFrom *Checkpoint
 }
 
 // cancelled reports the context error once Options.Ctx has fired; the
@@ -440,6 +455,16 @@ func initialState(sys *circuit.System, opts Options, stats *Stats) ([]float64, s
 			return nil, fmt.Errorf("transient: factorizing G: %w", err)
 		}
 		return fg, nil
+	}
+	if cp := opts.resumeFrom; cp != nil {
+		// Resuming: the checkpointed state replaces the DC solve. G is still
+		// factorized (the MATEX input terms need it); with a shared cache
+		// that is a lookup, so recovery pays no re-analysis.
+		fg, err := factG()
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]float64(nil), cp.X...), fg, nil
 	}
 	if opts.InitialState != nil {
 		if len(opts.InitialState) != sys.N {

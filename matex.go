@@ -210,8 +210,10 @@ type (
 	Job = serve.Job
 )
 
-// NewJobServer starts a job service's worker pool and returns it.
-func NewJobServer(cfg JobServerConfig) *JobServer { return serve.New(cfg) }
+// NewJobServer starts a job service's worker pool and returns it. The
+// error is the durable journal's (JobServerConfig.StateDir); an in-memory
+// server cannot fail.
+func NewJobServer(cfg JobServerConfig) (*JobServer, error) { return serve.New(cfg) }
 
 // Benchmark generators.
 type (

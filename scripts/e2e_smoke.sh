@@ -4,8 +4,15 @@
 #   1. pgbench | matex            one-shot CLI over a generated deck
 #   2. matexd TCP loopback        distributed run over a real worker,
 #                                 then a SIGTERM graceful-drain check
-#   3. matexsrv submit-and-stream curl submit, NDJSON stream, /stats and
+#   3. matexd chaos               kill -9 one of two workers mid-run; the
+#                                 pool must fail over, report retries, and
+#                                 still match the local waveform
+#   4. matexsrv submit-and-stream curl submit, NDJSON stream, /stats and
 #                                 /healthz checks, SIGTERM drain, exit 0
+#   5. matexsrv crash-restart     kill -9 mid-job with -state-dir set; a
+#                                 restart must resume from the journaled
+#                                 checkpoint and finish with the same
+#                                 waveform as an uninterrupted run
 #
 # CI runs this on every PR; it is also runnable locally (only needs curl).
 set -euo pipefail
@@ -15,7 +22,10 @@ workdir="$(mktemp -d)"
 cleanup() {
     # Kill anything we left running, ignore failures.
     [[ -n "${MATEXD_PID:-}" ]] && kill "$MATEXD_PID" 2>/dev/null || true
+    [[ -n "${W1_PID:-}" ]] && kill "$W1_PID" 2>/dev/null || true
+    [[ -n "${W2_PID:-}" ]] && kill -9 "$W2_PID" 2>/dev/null || true
     [[ -n "${MATEXSRV_PID:-}" ]] && kill "$MATEXSRV_PID" 2>/dev/null || true
+    [[ -n "${MATEXSRV2_PID:-}" ]] && kill -9 "$MATEXSRV2_PID" 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -68,6 +78,62 @@ grep -q "drained" "$workdir/matexd.log" || { echo "matexd did not report a drain
 MATEXD_PID=""
 echo "matexd drained and exited 0"
 
+say "matexd chaos: kill -9 one of two workers mid-run"
+# A bigger deck with a slow fixed-step method so the distributed run lasts
+# long enough (~1s) for the kill to land while subtasks are in flight.
+"$workdir/pgbench" -case ibmpg1t -scale 0.5 > "$workdir/deck05.sp"
+"$workdir/matexd" -listen 127.0.0.1:19191 > "$workdir/w1.log" 2>&1 &
+W1_PID=$!
+for i in $(seq 1 50); do
+    grep -q "listening" "$workdir/w1.log" && break
+    sleep 0.1
+done
+# Fault-free reference over the same superposition grid: a single-worker
+# distributed run (the GTS grid is set by the decomposition, not the pool).
+"$workdir/matex" -method tr -step 1e-12 \
+    -workers 127.0.0.1:19191 "$workdir/deck05.sp" > "$workdir/chaos_ref.tsv"
+retried=0
+for attempt in 1 2 3; do
+    "$workdir/matexd" -listen 127.0.0.1:19192 > "$workdir/w2.log" 2>&1 &
+    W2_PID=$!
+    for i in $(seq 1 50); do
+        grep -q "listening" "$workdir/w2.log" && break
+        sleep 0.1
+    done
+    "$workdir/matex" -stats -method tr -step 1e-12 \
+        -workers 127.0.0.1:19191,127.0.0.1:19192 \
+        "$workdir/deck05.sp" > "$workdir/chaos.tsv" 2> "$workdir/chaos.err" &
+    CHAOS_PID=$!
+    sleep 0.3
+    kill -9 "$W2_PID" 2>/dev/null || true
+    wait "$W2_PID" 2>/dev/null || true
+    W2_PID=""
+    chaos_rc=0
+    wait "$CHAOS_PID" || chaos_rc=$?
+    [[ "$chaos_rc" -eq 0 ]] || { echo "chaos run exited $chaos_rc"; cat "$workdir/chaos.err"; exit 1; }
+    retried=$(grep -o 'retried=[0-9]*' "$workdir/chaos.err" | head -1 | cut -d= -f2)
+    [[ -n "$retried" && "$retried" -gt 0 ]] && break
+    echo "attempt $attempt: run finished before the kill landed (retried=${retried:-?}), retrying"
+    retried=0
+done
+[[ "$retried" -gt 0 ]] || { echo "worker kill never interrupted a subtask after 3 attempts"; exit 1; }
+python3 - "$workdir/chaos_ref.tsv" "$workdir/chaos.tsv" <<'EOF'
+import sys
+ref = [l.split("\t") for l in open(sys.argv[1]) if l.strip()]
+got = [l.split("\t") for l in open(sys.argv[2]) if l.strip()]
+assert len(ref) == len(got), "row count %d vs %d" % (len(ref), len(got))
+worst = 0.0
+for r, g in zip(ref[1:], got[1:]):
+    assert r[0] == g[0], "time column diverged: %s vs %s" % (r[0], g[0])
+    worst = max(worst, max(abs(float(a) - float(b)) for a, b in zip(r[1:], g[1:])))
+assert worst <= 1e-9, "post-failover waveform deviates %g V" % worst
+print("failover waveform matches local run (max deviation %g V)" % worst)
+EOF
+kill "$W1_PID" 2>/dev/null || true
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+echo "chaos run survived kill -9 with retried=$retried"
+
 say "matexsrv submit-and-stream"
 "$workdir/matexsrv" -listen 127.0.0.1:18080 > "$workdir/matexsrv.log" 2>&1 &
 MATEXSRV_PID=$!
@@ -117,5 +183,92 @@ wait "$MATEXSRV_PID" || srv_rc=$?
 grep -q "drained" "$workdir/matexsrv.log" || { echo "matexsrv did not report a drain"; cat "$workdir/matexsrv.log"; exit 1; }
 MATEXSRV_PID=""
 echo "matexsrv drained and exited 0"
+
+say "matexsrv kill -9 crash-restart resumes from checkpoint"
+"$workdir/matexsrv" -listen 127.0.0.1:18081 \
+    -state-dir "$workdir/state" -checkpoint-every 200 > "$workdir/srv2a.log" 2>&1 &
+MATEXSRV2_PID=$!
+for i in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:18081/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+# A long fixed-step job (100k steps) so the server is killed with the
+# integrator still deep in the run.
+python3 - "$workdir/deck.sp" > "$workdir/slowjob.json" <<'EOF'
+import json, sys
+print(json.dumps({"netlist": open(sys.argv[1]).read(), "method": "tr", "step": 1e-13}))
+EOF
+curl -sf -X POST --data-binary @"$workdir/slowjob.json" \
+    "http://127.0.0.1:18081/v1/jobs" > "$workdir/submit.json"
+job_id=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$workdir/submit.json")
+for i in $(seq 1 100); do
+    grep -q '"rec":"checkpoint"' "$workdir/state/journal.jsonl" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q '"rec":"checkpoint"' "$workdir/state/journal.jsonl" || { echo "no checkpoint journaled in 10s"; cat "$workdir/srv2a.log"; exit 1; }
+kill -9 "$MATEXSRV2_PID"
+wait "$MATEXSRV2_PID" 2>/dev/null || true
+echo "killed matexsrv mid-job (pid $MATEXSRV2_PID)"
+
+"$workdir/matexsrv" -listen 127.0.0.1:18081 \
+    -state-dir "$workdir/state" -checkpoint-every 200 > "$workdir/srv2b.log" 2>&1 &
+MATEXSRV2_PID=$!
+for i in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:18081/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "http://127.0.0.1:18081/stats" > "$workdir/stats2.json"
+python3 - "$workdir/stats2.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["jobs_resumed"] == 1, "jobs_resumed=%r after restart, want 1" % (s.get("jobs_resumed"),)
+print("restart resumed 1 interrupted job")
+EOF
+# Stream the resumed job to completion, then run the identical spec fresh on
+# the same server and demand the two waveforms agree to 1e-12.
+curl -sf "http://127.0.0.1:18081/v1/jobs/$job_id/stream" > "$workdir/resumed.ndjson"
+curl -sf -X POST --data-binary @"$workdir/slowjob.json" \
+    "http://127.0.0.1:18081/v1/simulate" > "$workdir/fresh.ndjson"
+python3 - "$workdir/resumed.ndjson" "$workdir/fresh.ndjson" <<'EOF'
+import json, sys
+def load(path):
+    samples, state = [], None
+    for line in open(path):
+        if not line.strip():
+            continue
+        c = json.loads(line)
+        if c.get("done"):
+            state = c.get("state")
+        elif c.get("seq", 0) > 0:
+            samples.append((c["seq"], c["t"], c["v"]))
+    return samples, state
+res, res_state = load(sys.argv[1])
+ref, ref_state = load(sys.argv[2])
+assert res_state == "done", "resumed job ended %r" % (res_state,)
+assert ref_state == "done", "fresh job ended %r" % (ref_state,)
+assert len(res) == len(ref), "resumed job has %d samples, fresh %d" % (len(res), len(ref))
+assert [s[0] for s in res] == list(range(1, len(res) + 1)), "resumed stream has a seq gap"
+worst = 0.0
+for (_, rt, rv), (_, ft, fv) in zip(res, ref):
+    assert rt == ft, "time grid diverged: %r vs %r" % (rt, ft)
+    worst = max(worst, max(abs(a - b) for a, b in zip(rv, fv)))
+assert worst <= 1e-12, "resumed waveform deviates %g V from uninterrupted run" % worst
+print("resumed waveform matches uninterrupted run over %d samples (max deviation %g V)" % (len(res), worst))
+EOF
+
+say "restarted matexsrv SIGTERM drain"
+kill -TERM "$MATEXSRV2_PID"
+for i in $(seq 1 100); do
+    if ! kill -0 "$MATEXSRV2_PID" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if kill -0 "$MATEXSRV2_PID" 2>/dev/null; then
+    echo "restarted matexsrv still alive 10s after SIGTERM"; exit 1
+fi
+srv2_rc=0
+wait "$MATEXSRV2_PID" || srv2_rc=$?
+[[ "$srv2_rc" -eq 0 ]] || { echo "restarted matexsrv exited $srv2_rc after SIGTERM, want 0"; cat "$workdir/srv2b.log"; exit 1; }
+MATEXSRV2_PID=""
+echo "restarted matexsrv drained and exited 0"
 
 say "e2e smoke PASS"
