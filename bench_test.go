@@ -1,6 +1,7 @@
 package matex
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/pdn"
 	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/sweep"
 	"github.com/matex-sim/matex/internal/transient"
 	"github.com/matex-sim/matex/internal/waveform"
 )
@@ -692,3 +694,112 @@ func benchOrdering(b *testing.B, order sparse.Ordering) {
 
 func BenchmarkAblation_Ordering_RCM(b *testing.B)    { benchOrdering(b, sparse.OrderRCM) }
 func BenchmarkAblation_Ordering_MinDeg(b *testing.B) { benchOrdering(b, sparse.OrderMinDegree) }
+
+// --- PR 10: scenario sweeps ----------------------------------------------
+
+// sweepCorners builds k pairwise non-collinear corner variants of the
+// deck (each scales a different load source by a different factor), so
+// the sweep measures panel batching rather than linearity sharing.
+func sweepCorners(sys *circuit.System, k int) []sweep.Variant {
+	var loads []string
+	for _, in := range sys.Inputs {
+		if !in.Supply {
+			loads = append(loads, in.Name)
+		}
+	}
+	vs := make([]sweep.Variant, k)
+	for i := range vs {
+		vs[i] = sweep.Variant{
+			Name:         fmt.Sprintf("c%d", i),
+			SourceScales: map[string]float64{loads[i%len(loads)]: 1 + 0.1*float64(i+1)},
+		}
+	}
+	return vs
+}
+
+// sweepCornerFamilies builds the EXPERIMENTS.md corner set: nfam hot-spot
+// activity patterns (pattern i puts 1.5x on load i and 0.75x on the rest),
+// each run at a low (0.875x) and a high (1.25x) global intensity. The
+// values are dyadic, so each pattern's two corners are bitwise-collinear:
+// every family plans as one sup+load superposition split and the shared
+// supplies-only lane dedupes across all families — 2·nfam variants cost
+// nfam load lanes plus one supply lane, batched into one panel fleet.
+func sweepCornerFamilies(sys *circuit.System, nfam int) []sweep.Variant {
+	var loads []string
+	for _, in := range sys.Inputs {
+		if !in.Supply {
+			loads = append(loads, in.Name)
+		}
+	}
+	var vs []sweep.Variant
+	for i := 0; i < nfam; i++ {
+		pattern := make(map[string]float64, len(loads))
+		for j, name := range loads {
+			if j == i%len(loads) {
+				pattern[name] = 1.5
+			} else {
+				pattern[name] = 0.75
+			}
+		}
+		vs = append(vs,
+			sweep.Variant{Name: fmt.Sprintf("p%dlo", i), Scale: 0.875, SourceScales: pattern},
+			sweep.Variant{Name: fmt.Sprintf("p%dhi", i), Scale: 1.25, SourceScales: pattern})
+	}
+	return vs
+}
+
+// BenchmarkSweepSolo is the per-variant baseline: one solo transient run
+// of the deck with a warm factorization cache — what each of a sweep's N
+// variants would cost if simulated alone. The benchcmp gate asserts
+// BenchmarkSweep_k8 ≤ 5× this row (8 variants for under 5 solo walls).
+func BenchmarkSweepSolo(b *testing.B) {
+	sys := benchSystem(b, "ibmpg1t", 0.25)
+	cache := sparse.NewCache(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transient.Simulate(sys, transient.RMATEX, transient.Options{
+			Tstop: 10e-9, Tol: 1e-6, Cache: cache,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSweep(b *testing.B, variants []sweep.Variant) {
+	sys := benchSystem(b, "ibmpg1t", 0.25)
+	cache := sparse.NewCache(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(sys, variants, sweep.Options{
+			Base:   transient.Options{Tstop: 10e-9, Tol: 1e-6, Cache: cache},
+			Method: transient.RMATEX,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.Lanes), "lanes")
+			b.ReportMetric(float64(res.Stats.Sim.Factorizations), "factorizations")
+			b.ReportMetric(res.Stats.Panel.MeanWidth(), "mean_panel_width")
+		}
+	}
+}
+
+// BenchmarkSweep_k4 runs 4 pairwise non-collinear per-source corners: no
+// linearity sharing is possible, so the row isolates what panel batching
+// alone buys over 4 solo walls.
+func BenchmarkSweep_k4(b *testing.B) {
+	sys := benchSystem(b, "ibmpg1t", 0.25)
+	benchSweep(b, sweepCorners(sys, 4))
+}
+
+// BenchmarkSweep_k8 runs the EXPERIMENTS.md 8-corner set (4 collinear
+// hot-spot families x 2 intensities): collinearity sharing plans 5 lanes
+// for 8 variants and batching couples them, the regime the ≤5x-solo
+// benchcmp gate protects.
+func BenchmarkSweep_k8(b *testing.B) {
+	sys := benchSystem(b, "ibmpg1t", 0.25)
+	benchSweep(b, sweepCornerFamilies(sys, 4))
+}

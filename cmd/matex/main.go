@@ -10,22 +10,33 @@
 //	matex -method tr -step 10p grid.sp            # fixed-step trapezoidal
 //	matex -method rmatex -distributed grid.sp     # bump-group decomposition
 //	matex -method rmatex -workers host1:9090,host2:9090 grid.sp
+//	matex -sweep corners.json grid.sp             # N variants, one batched run
 //
 // Probed nodes come from the deck's ".print tran v(...)" cards; without any,
 // the first node of the deck is probed.
+//
+// -sweep FILE runs every scenario variant in FILE (a JSON array of sweep
+// variant objects, or an object with a "variants" key — the same schema
+// as the serving API's POST /sweep) through one batched computation: one
+// factorization-cache lineage, cross-variant multi-RHS solve panels, and
+// collinear-variant sharing. The TSV output gains a leading "variant"
+// column; -stats adds the sweep's lane and panel report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"github.com/matex-sim/matex/internal/circuit"
 	"github.com/matex-sim/matex/internal/dist"
 	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/netlist"
 	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/sweep"
 	"github.com/matex-sim/matex/internal/transient"
 )
 
@@ -43,6 +54,7 @@ func main() {
 	solvePar := flag.Int("solve-par", 0, "goroutines for level-scheduled parallel triangular solves (0/1 = sequential; effective only when the factor's level schedule is wide enough)")
 	stream := flag.Bool("stream", false, "emit each TSV row as the integrator produces it (unbuffered waveform streaming; non-distributed runs only)")
 	stats := flag.Bool("stats", false, "print solver work statistics to stderr")
+	sweepFile := flag.String("sweep", "", "JSON variant file: run every scenario variant of the deck as one batched sweep")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -132,6 +144,21 @@ func main() {
 		fmt.Println()
 	}
 
+	if *sweepFile != "" {
+		if *distributed || *workers != "" {
+			fatal(fmt.Errorf("-sweep and -distributed are mutually exclusive (a sweep batches within one process)"))
+		}
+		variants, err := loadVariants(*sweepFile)
+		if err != nil {
+			fatal(err)
+		}
+		runSweep(sys, variants, m, transient.Options{
+			Tstop: *tstop, Step: *step, Tol: *tol, Gamma: *gamma, Probes: probes,
+			Ordering: ord, Cache: cache, Krylov: km, SolveWorkers: *solvePar,
+		}, kept, *stream, *stats)
+		return
+	}
+
 	var res *transient.Result
 	var rep *dist.Report
 	if *distributed || *workers != "" {
@@ -191,6 +218,92 @@ func main() {
 		s := &res.Stats
 		fmt.Fprintf(os.Stderr, "factorizations=%d refactors=%d symbolic_hits=%d cache_hits=%d cache_misses=%d solve_pairs=%d spmvs=%d expm_evals=%d steps=%d m_a=%.1f m_p=%d lanczos_spots=%d/%d dc=%v factor=%v transient=%v\n",
 			s.Factorizations, s.Refactors, s.SymbolicHits, s.CacheHits, s.CacheMisses, s.SolvePairs, s.SpMVs, s.ExpmEvals, s.Steps, s.MA(), s.MP(), s.LanczosSpots, len(s.KrylovDims), s.DCTime, s.FactorTime, s.TransientTime)
+	}
+}
+
+// loadVariants reads a sweep variant file: either a bare JSON array of
+// variants or an object with a "variants" field (the POST /sweep body
+// shape, so one file serves both the CLI and curl).
+func loadVariants(path string) ([]sweep.Variant, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []sweep.Variant
+	if err := json.Unmarshal(b, &list); err == nil {
+		return list, nil
+	}
+	var obj struct {
+		Variants []sweep.Variant `json:"variants"`
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return nil, fmt.Errorf("parsing %s: want a JSON array of variants or {\"variants\": [...]}: %w", path, err)
+	}
+	return obj.Variants, nil
+}
+
+// runSweep executes the batched sweep and writes one TSV table with a
+// leading variant column. Under -stream rows interleave across variants
+// as their lanes advance (each variant's rows stay in time order);
+// buffered output groups rows per variant.
+func runSweep(sys *circuit.System, variants []sweep.Variant, m transient.Method, base transient.Options, kept []string, stream, stats bool) {
+	writeHeader := func() {
+		fmt.Printf("variant\ttime")
+		for _, name := range kept {
+			fmt.Printf("\tv(%s)", name)
+		}
+		fmt.Println()
+	}
+	writeRow := func(name string, t float64, row []float64) {
+		fmt.Printf("%s\t%.6e", name, t)
+		for k := range kept {
+			if k < len(row) {
+				fmt.Printf("\t%.9e", row[k])
+			}
+		}
+		fmt.Println()
+	}
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		if names[i] = v.Name; names[i] == "" {
+			names[i] = fmt.Sprintf("v%d", i)
+		}
+	}
+	opts := sweep.Options{Base: base, Method: m}
+	if stream {
+		writeHeader()
+		// Lanes emit concurrently; the TSV writer is single-threaded.
+		var mu sync.Mutex
+		opts.OnVariantSample = func(v int, t float64, row []float64) {
+			mu.Lock()
+			writeRow(names[v], t, row)
+			mu.Unlock()
+		}
+	}
+	res, err := sweep.Run(sys, variants, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if !stream {
+		writeHeader()
+		for v := range res.Variants {
+			vr := &res.Variants[v]
+			for i, t := range vr.Times {
+				var row []float64
+				if i < len(vr.Probes) {
+					row = vr.Probes[i]
+				}
+				writeRow(vr.Name, t, row)
+			}
+		}
+	}
+	if stats {
+		st := &res.Stats
+		s := &st.Sim
+		fmt.Fprintf(os.Stderr, "variants=%d lanes=%d shared=%d panel_rounds=%d panel_batched=%d mean_panel_width=%.2f\n",
+			st.Variants, st.Lanes, st.SharedVariants, st.Panel.Rounds, st.Panel.Batched, st.Panel.MeanWidth())
+		fmt.Fprintf(os.Stderr, "factorizations=%d refactors=%d symbolic_hits=%d cache_hits=%d cache_misses=%d solve_pairs=%d spmvs=%d steps=%d\n",
+			s.Factorizations, s.Refactors, s.SymbolicHits, s.CacheHits, s.CacheMisses, s.SolvePairs, s.SpMVs, s.Steps)
 	}
 }
 

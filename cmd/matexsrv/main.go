@@ -9,6 +9,13 @@
 // restart on the same directory resumes interrupted jobs from their last
 // checkpoint instead of step zero.
 //
+// A job spec with a "variants" list is a scenario sweep: all variants of
+// the deck run as one batched computation (shared factorization lineage,
+// cross-variant solve panels, collinear-variant sharing) and the job's
+// stream interleaves every variant's samples, tagged by variant name and
+// per-variant sequence number. POST /sweep (or /v1/sweep) is the
+// dedicated endpoint; /v1/jobs accepts sweep specs too.
+//
 // Usage:
 //
 //	matexsrv -listen :8080
@@ -21,6 +28,7 @@
 //	curl -s localhost:8080/v1/simulate -d '{"case":"ibmpg1t","scale":0.25}'
 //	curl -s localhost:8080/v1/jobs -d @job.json      # queue, then
 //	curl -s localhost:8080/v1/jobs/job-1/stream      # follow live
+//	curl -s localhost:8080/sweep -d @sweep.json      # N variants, one run
 //	curl -s localhost:8080/stats
 package main
 

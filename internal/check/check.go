@@ -1,7 +1,7 @@
 // Package check implements matexcheck, the project-invariant static
 // analyzer suite: annotation-driven analyzers built on the standard
 // library's go/ast, go/parser, and go/types packages (no external analysis
-// framework). Four analyzers ship:
+// framework). Five analyzers ship:
 //
 //   - noalloc: functions annotated //matex:noalloc must not contain
 //     allocating constructs (make/new/append, composite and function
@@ -17,6 +17,9 @@
 //     //matex:ctx-exempt(reason).
 //   - errflow: in cmd/ and internal/serve, no discarded errors, with
 //     //matex:err-ok(reason) waivers.
+//   - docs: the module-root facade package and internal/sweep must document
+//     every exported symbol (per-spec comments inside type blocks; group
+//     comments suffice for const/var enums) and carry a package comment.
 //
 // Malformed or unknown //matex: directives are themselves findings.
 package check
@@ -51,6 +54,7 @@ func RunAll(pkgs []*Pkg) []Finding {
 		runPoolHygiene(pkg, ann, report)
 		runCtxFlow(pkg, ann, report)
 		runErrFlow(pkg, ann, report)
+		runDocs(pkg, report)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos

@@ -1,0 +1,111 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// The docs analyzer enforces godoc coverage on the public surface: the
+// module-root facade package (matex) and internal/sweep, whose Variant JSON
+// schema is user-facing documentation. Every exported top-level declaration
+// must carry a doc comment:
+//
+//   - exported functions and exported methods need a leading comment;
+//   - each exported type spec needs its own comment, even inside a
+//     parenthesized type ( ... ) block — the facade's alias blocks are the
+//     package's reference documentation, so a group comment does not cover
+//     the members;
+//   - exported const and var specs are covered by either their own comment
+//     or the enclosing group's comment (the usual enum idiom);
+//   - the package itself needs a package comment.
+func runDocs(pkg *Pkg, report func(pos token.Pos, analyzer, msg string)) {
+	if !docsScope(pkg.RelPath) {
+		return
+	}
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if exportedFunc(d) && d.Doc == nil {
+					report(d.Pos(), "docs",
+						fmt.Sprintf("exported %s %s has no doc comment", funcKind(d), d.Name.Name))
+				}
+			case *ast.GenDecl:
+				checkGenDocs(d, report)
+			}
+		}
+	}
+	if !hasPkgDoc && len(pkg.Files) > 0 {
+		report(pkg.Files[0].Package, "docs",
+			fmt.Sprintf("package %s has no package comment", pkg.Types.Name()))
+	}
+}
+
+// docsScope reports whether the package (by module-relative path) is part of
+// the documented public surface.
+func docsScope(relPath string) bool {
+	return relPath == "" || relPath == "internal/sweep"
+}
+
+// exportedFunc reports whether the declaration is an exported function or an
+// exported method on an exported receiver type.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	recv := d.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if idx, ok := recv.(*ast.IndexExpr); ok {
+		recv = idx.X
+	}
+	id, ok := recv.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDocs flags undocumented exported specs of a const/var/type
+// declaration.
+func checkGenDocs(d *ast.GenDecl, report func(pos token.Pos, analyzer, msg string)) {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return
+	}
+	grouped := d.Lparen.IsValid()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if s.Doc == nil && (grouped || d.Doc == nil) {
+				report(s.Pos(), "docs",
+					fmt.Sprintf("exported type %s has no doc comment", s.Name.Name))
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if s.Doc == nil && d.Doc == nil {
+					report(name.Pos(), "docs",
+						fmt.Sprintf("exported %s %s has no doc comment", d.Tok, name.Name))
+				}
+			}
+		}
+	}
+}

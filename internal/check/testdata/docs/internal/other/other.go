@@ -1,0 +1,7 @@
+package other
+
+// This package is outside the docs analyzer's scope: undocumented exports
+// here must stay silent. (A want-comment elsewhere keeps the fixture armed.)
+func Undocumented() {}
+
+type Loose struct{}

@@ -1,0 +1,6 @@
+package sweep // want "package sweep has no package comment"
+
+// Variant is documented.
+type Variant struct{}
+
+func Run() {} // want "exported function Run has no doc comment"

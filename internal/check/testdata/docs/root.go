@@ -1,0 +1,34 @@
+// Package facade is the fixture module root: the docs analyzer must demand
+// godoc on every exported symbol here.
+package facade
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {} // want "exported function Undocumented has no doc comment"
+
+func internalHelper() {}
+
+// Grouped aliases: each exported spec needs its own comment.
+type (
+	// Good carries a doc comment.
+	Good struct{}
+
+	Bad struct{} // want "exported type Bad has no doc comment"
+)
+
+// Modes enumerate something; the group comment covers every member.
+const (
+	ModeA = iota
+	ModeB
+)
+
+var Budget = 42 // want "exported var Budget has no doc comment"
+
+// Widget is documented, but its exported method is not.
+type Widget struct{}
+
+func (Widget) Spin() {} // want "exported method Spin has no doc comment"
+
+// reset is unexported; no comment required.
+func (Widget) reset() {}

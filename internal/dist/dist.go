@@ -1,24 +1,3 @@
-// Package dist implements the distributed MATEX framework of the paper
-// (Fig. 4): the transient simulation of a power distribution network is
-// decomposed by the "bump features" of its input current sources (Fig. 3),
-// each source group is simulated as an independent zero-state subtask on a
-// computing node, and the group responses are superposed with the DC
-// operating point to recover the full solution.
-//
-// The decomposition is exact for the linear MNA system C·x' = -G·x + B·u(t):
-// with x_DC the DC operating point (G·x_DC = B·u(0)),
-//
-//	x(t) = x_DC + Σ_g x_g(t),
-//
-// where x_g is the zero-state response to the zero-based group input
-// u_g(t) - u_g(0). Sources sharing a bump feature transition at the same
-// local spots (LTS), so one node simulates them together at no extra Krylov
-// subspace generations; every node emits snapshots on the shared global
-// transition spot (GTS) grid by substitution-free subspace reuse, and the
-// scheduler sums them.
-//
-// Subtasks run either on an in-process goroutine pool (the default) or on
-// matexd workers over TCP via net/rpc (see NewRPCPool and cmd/matexd).
 package dist
 
 import (

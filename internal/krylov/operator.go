@@ -1,14 +1,3 @@
-// Package krylov implements the matrix-exponential kernels of MATEX: the
-// Arnoldi process over three operator families —
-//
-//   - standard   K_m(A, v) with A = -C⁻¹G           (MEXP, Weng et al.)
-//   - inverted   K_m(A⁻¹, v) with A⁻¹ = -G⁻¹C        (I-MATEX)
-//   - rational   K_m((I-γA)⁻¹, v) via (C+γG)⁻¹C      (R-MATEX)
-//
-// — the conversion of the projected Hessenberg matrix back to an
-// approximation of A, posterior error estimates (paper Eqs. 7, 8, 10 and the
-// regularization-free variant of Sec. 3.3.3), and the evaluation
-// x ≈ ‖v‖·V_m·e^{hH_m}·e₁ with subspace reuse across time steps.
 package krylov
 
 import (

@@ -1,0 +1,43 @@
+// Package serve is the MATEX simulation job service: a long-running HTTP
+// front end that accepts netlist-deck jobs (inline SPICE text or a named
+// pgbench case), runs them through a bounded worker-pool queue with
+// per-job contexts, and streams waveform samples incrementally (NDJSON or
+// SSE) as the integrators advance — the serving layer the paper's
+// "distributed framework" framing asks for on top of the compute stack.
+//
+// Every job on one process shares the content-addressed factorization
+// cache and the Krylov workspace arenas, so concurrent and repeated jobs
+// against the same grid skip straight to the transient phase the way
+// repeated dist.Run calls do. Distributed jobs additionally fan out
+// through internal/dist (in-process pool or matexd workers over TCP).
+//
+// # Lifecycle of a job
+//
+// POST /v1/jobs (http.go) validates the JobSpec and builds the circuit up
+// front (job.go), so malformed decks fail with a 400 before queueing. The
+// job then waits in a bounded queue until a worker goroutine (serve.go)
+// picks it up, stamps options onto transient.Simulate or dist.Run, and
+// forwards every probe sample into the job's grow-only sample log. Stream
+// readers (GET /v1/jobs/{id}/stream) replay that log from any offset and
+// then follow live appends, so late subscribers and reconnects see the
+// identical sequence.
+//
+// # Sweep jobs
+//
+// A JobSpec with a non-empty Variants list is a scenario sweep: the worker
+// hands the deck to internal/sweep, which integrates all variants in one
+// batched run over the shared cache. Samples are tagged with the variant
+// name and a per-variant sequence number, so one stream multiplexes N
+// waveforms; POST /v1/sweep is sugar for that spec shape.
+//
+// # Durability
+//
+// With Config.StateDir set, accepted specs and periodic checkpoints are
+// journaled (journal.go) in an append-only NDJSON file per job; on restart
+// the server replays the journal, trims samples past the last checkpoint
+// (per variant for sweeps), and resumes unfinished jobs from their
+// checkpoints. Crash-safety is tested by snapshotting the journal bytes
+// mid-run and restarting a second server on the copy.
+//
+// See cmd/matexsrv for the daemon and README.md ("Serving") for the API.
+package serve

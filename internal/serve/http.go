@@ -28,6 +28,13 @@ const maxBodyBytes = 256 << 20
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/jobs/{id}/stream  waveform stream (NDJSON; ?sse=1 for SSE)
 //	POST   /v1/simulate          submit and stream in one request
+//	POST   /v1/sweep             submit a sweep (a JobSpec with variants);
+//	                             /sweep is an alias
+//
+// A sweep job's stream interleaves every variant's samples; each sample
+// chunk carries the variant name and a per-variant sequence number
+// ("variant"/"vseq") on top of the global "seq" resume cursor, so one
+// connection demultiplexes into N waveforms.
 //
 // Streams are resumable: every sample carries a monotonic 1-based sequence
 // number (the NDJSON "seq" field; the SSE `id:` line). A dropped NDJSON
@@ -46,6 +53,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
 	return mux
 }
 
@@ -186,9 +195,38 @@ func (s *Server) statsReply() StatsReply {
 		Resumed:    s.resumed,
 		Totals:     s.agg,
 	}
+	// The histogram map must not alias s.agg's: the reply is marshaled
+	// after the lock drops, racing later addSweep merges otherwise.
+	if len(s.agg.PanelWidths) > 0 {
+		pw := make(map[int]int, len(s.agg.PanelWidths))
+		for wdt, n := range s.agg.PanelWidths {
+			pw[wdt] = n
+		}
+		rep.Totals.PanelWidths = pw
+	}
 	s.mu.Unlock()
 	rep.Cache = s.cache.Stats()
 	return rep
+}
+
+// handleSweep submits a sweep job: a JobSpec whose variants list is
+// required here (POST /v1/jobs accepts sweep specs too; this endpoint
+// just refuses to silently run a plain job when the caller meant N).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	spec, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	if len(spec.Variants) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("sweep submission needs a non-empty variants list"))
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -279,6 +317,8 @@ type streamTail struct {
 	Samples int      `json:"samples"`
 	Error   string   `json:"error,omitempty"`
 	Stats   any      `json:"stats,omitempty"`
+	// Sweep carries the batching report on sweep-job streams.
+	Sweep any `json:"sweep,omitempty"`
 }
 
 // streamSample is one streamed sample chunk: the Sample plus its monotonic
@@ -382,6 +422,9 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 	tail := streamTail{Done: true, State: final.State, Samples: i, Error: final.Error}
 	if final.Stats != nil {
 		tail.Stats = final.Stats
+	}
+	if final.Sweep != nil {
+		tail.Sweep = final.Sweep
 	}
 	emit(0, tail)
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/matex-sim/matex/internal/netlist"
 	"github.com/matex-sim/matex/internal/pdn"
 	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/sweep"
 	"github.com/matex-sim/matex/internal/transient"
 )
 
@@ -57,7 +58,20 @@ type JobSpec struct {
 	// TimeoutSec, when positive, is the per-job deadline; an expired job
 	// is reported canceled.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Variants, when non-empty, makes this a sweep job: every variant of
+	// the deck runs through internal/sweep as one batched computation
+	// (shared factorization-cache lineage, cross-variant solve panels,
+	// collinear-variant sharing) and the stream interleaves all variants'
+	// samples, each tagged with its variant name and per-variant sequence
+	// number. Sweep jobs cannot be distributed, and are capped at
+	// MaxSweepVariants variants.
+	Variants []sweep.Variant `json:"variants,omitempty"`
 }
+
+// MaxSweepVariants bounds the variant count of one sweep job: enough for
+// corner grids and modest Monte-Carlo batches, small enough that one job
+// cannot monopolize the worker pool's memory.
+const MaxSweepVariants = 64
 
 // builtJob is a validated, stamped job ready to run.
 type builtJob struct {
@@ -138,6 +152,17 @@ func (spec *JobSpec) build() (*builtJob, error) {
 	if (b.method == transient.TRFixed || b.method == transient.BEFixed || b.method == transient.FEFixed) && b.step <= 0 {
 		return nil, fmt.Errorf("fixed-step method %q needs step or a .tran step in the deck", spec.Method)
 	}
+	if len(spec.Variants) > 0 {
+		if spec.Distributed {
+			return nil, errors.New("a sweep job cannot also be distributed")
+		}
+		if len(spec.Variants) > MaxSweepVariants {
+			return nil, fmt.Errorf("sweep has %d variants; the limit is %d", len(spec.Variants), MaxSweepVariants)
+		}
+		if err := sweep.Validate(b.sys, spec.Variants); err != nil {
+			return nil, err
+		}
+	}
 
 	// Probes: the deck's .print cards (or the diagonal spread), else the
 	// first free node — the same fallback as cmd/matex, through the same
@@ -184,10 +209,17 @@ func (s JobState) Terminal() bool {
 }
 
 // Sample is one streamed waveform chunk: the time point and the probed
-// node voltages, in the probe order announced by the stream header.
+// node voltages, in the probe order announced by the stream header. On a
+// sweep job, Variant names the variant the sample belongs to and VSeq is
+// its 1-based position within that variant's waveform — the stream
+// interleaves variants as their lanes advance, and VSeq is what lets a
+// client demultiplex it back into per-variant waveforms with no
+// reordering ambiguity. Plain jobs leave both fields zero.
 type Sample struct {
-	T float64   `json:"t"`
-	V []float64 `json:"v,omitempty"`
+	T       float64   `json:"t"`
+	V       []float64 `json:"v,omitempty"`
+	Variant string    `json:"variant,omitempty"`
+	VSeq    int       `json:"vseq,omitempty"`
 }
 
 // Job is one queued or running simulation. Samples accumulate as the
@@ -204,18 +236,22 @@ type Job struct {
 
 	// jn is the server's durable journal (nil on in-memory servers) and
 	// resume the checkpoint a journal-restored job re-enters the integrator
-	// from (nil = run from the start). Both are set before the job is
-	// published and never change.
-	jn     *journal
-	resume *transient.Checkpoint
+	// from (nil = run from the start); vresume is its sweep-job analogue,
+	// the per-variant-name checkpoints of a restored sweep. All are set
+	// before the job is published and never change.
+	jn      *journal
+	resume  *transient.Checkpoint
+	vresume map[string]*transient.Checkpoint
 
 	mu       sync.Mutex
 	notify   chan struct{} // closed and replaced on every append/state change
 	state    JobState
 	samples  []Sample
-	flushed  int // samples[:flushed] are journaled (covered by a checkpoint)
+	flushed  int            // samples[:flushed] are journaled (covered by a checkpoint)
+	vseq     map[string]int // last VSeq assigned per variant (sweep jobs)
 	err      error
 	stats    *transient.Stats
+	sweep    *sweep.Stats
 	report   *dist.Report
 	cancel   context.CancelFunc
 	started  time.Time
@@ -248,6 +284,20 @@ func (j *Job) appendSample(t float64, v []float64) {
 	j.mu.Unlock()
 }
 
+// appendVariantSample records one sweep sample, stamping the variant name
+// and the next per-variant sequence number (the sweep.OnVariantSample
+// hook — called concurrently from the sweep's lanes).
+func (j *Job) appendVariantSample(name string, t float64, v []float64) {
+	j.mu.Lock()
+	if j.vseq == nil {
+		j.vseq = make(map[string]int)
+	}
+	j.vseq[name]++
+	j.samples = append(j.samples, Sample{T: t, V: append([]float64(nil), v...), Variant: name, VSeq: j.vseq[name]})
+	j.broadcast()
+	j.mu.Unlock()
+}
+
 // journalCheckpoint is the transient.Options.OnCheckpoint hook of a
 // journal-backed job: flush the not-yet-durable samples first, then the
 // fsynced checkpoint record — the order that guarantees every sample at or
@@ -257,6 +307,16 @@ func (j *Job) appendSample(t float64, v []float64) {
 // the integrator surfaces the error and the job fails rather than keep
 // computing results the journal cannot make durable.
 func (j *Job) journalCheckpoint(cp transient.Checkpoint) error {
+	return j.journalVariantCheckpoint("", cp)
+}
+
+// journalVariantCheckpoint is journalCheckpoint with a variant tag: a
+// sweep lane's checkpoint flushes every not-yet-durable sample first (all
+// variants' — a superset of the per-variant invariant, so the splice
+// guarantee holds for each variant independently). Lanes checkpoint
+// concurrently; overlapping flush batches are benign because replay
+// folds them with overwrite-at-From semantics.
+func (j *Job) journalVariantCheckpoint(variant string, cp transient.Checkpoint) error {
 	j.mu.Lock()
 	from := j.flushed
 	batch := j.samples[from:len(j.samples):len(j.samples)]
@@ -266,7 +326,7 @@ func (j *Job) journalCheckpoint(cp transient.Checkpoint) error {
 			return err
 		}
 	}
-	if err := j.jn.appendCheckpoint(j.ID, cp); err != nil {
+	if err := j.jn.appendCheckpoint(j.ID, variant, cp); err != nil {
 		return err
 	}
 	j.mu.Lock()
@@ -275,6 +335,14 @@ func (j *Job) journalCheckpoint(cp transient.Checkpoint) error {
 	}
 	j.mu.Unlock()
 	return nil
+}
+
+// setSweepStats records a finished sweep's batching report (called by the
+// worker just before finish publishes the terminal state).
+func (j *Job) setSweepStats(st *sweep.Stats) {
+	j.mu.Lock()
+	j.sweep = st
+	j.mu.Unlock()
 }
 
 // markRunning transitions queued → running; it reports false when the job
@@ -376,8 +444,14 @@ type Status struct {
 	Queued   int64 `json:"queued_ns,omitempty"`
 	Started  int64 `json:"started_ns,omitempty"`
 	Finished int64 `json:"finished_ns,omitempty"`
-	// Stats is the solver work report, present once the job is done.
+	// Stats is the solver work report, present once the job is done (for
+	// sweep jobs: the counters folded across every lane).
 	Stats *transient.Stats `json:"stats,omitempty"`
+	// Variants is the variant count of a sweep job (0 for plain jobs);
+	// Sweep is its batching report — lanes run, variants served by
+	// sharing, panel width histogram — present once the job is done.
+	Variants int          `json:"variants,omitempty"`
+	Sweep    *sweep.Stats `json:"sweep,omitempty"`
 	// Groups/Retried surface the dist report for distributed jobs.
 	Groups  int `json:"groups,omitempty"`
 	Retried int `json:"retried,omitempty"`
@@ -388,12 +462,14 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:      j.ID,
-		State:   j.state,
-		Probes:  j.built.names,
-		Samples: len(j.samples),
-		Queued:  j.submitted.UnixNano(),
-		Stats:   j.stats,
+		ID:       j.ID,
+		State:    j.state,
+		Probes:   j.built.names,
+		Samples:  len(j.samples),
+		Queued:   j.submitted.UnixNano(),
+		Stats:    j.stats,
+		Variants: len(j.Spec.Variants),
+		Sweep:    j.sweep,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -60,8 +60,11 @@ type journalRecord struct {
 	// sample in the job's buffer (samples records only).
 	From    int      `json:"from,omitempty"`
 	Samples []Sample `json:"samples,omitempty"`
-	// Cp is the integrator snapshot (checkpoint records only).
-	Cp *transient.Checkpoint `json:"cp,omitempty"`
+	// Cp is the integrator snapshot (checkpoint records only); Variant
+	// names the sweep variant it belongs to (empty on plain jobs, whose
+	// single integration owns the record).
+	Cp      *transient.Checkpoint `json:"cp,omitempty"`
+	Variant string                `json:"variant,omitempty"`
 	// State/Error are the terminal outcome (done records only).
 	State JobState `json:"state,omitempty"`
 	Error string   `json:"error,omitempty"`
@@ -83,7 +86,8 @@ type restoredJob struct {
 	spec    JobSpec
 	samples []Sample
 	cp      *transient.Checkpoint
-	done    bool // terminal record seen: prune, do not restore
+	vcps    map[string]*transient.Checkpoint // sweep jobs: per-variant-name
+	done    bool                             // terminal record seen: prune, do not restore
 }
 
 // openJournal replays and compacts the journal under dir, then reopens it
@@ -165,7 +169,16 @@ func replayJournal(path string) ([]*restoredJob, uint64, error) {
 				r.samples = append(r.samples[:rec.From], rec.Samples...)
 			}
 		case "checkpoint":
-			if r := byID[rec.ID]; r != nil && rec.Cp != nil {
+			r := byID[rec.ID]
+			if r == nil || rec.Cp == nil {
+				continue
+			}
+			if rec.Variant != "" {
+				if r.vcps == nil {
+					r.vcps = make(map[string]*transient.Checkpoint)
+				}
+				r.vcps[rec.Variant] = rec.Cp
+			} else {
 				r.cp = rec.Cp
 			}
 		case "done":
@@ -182,6 +195,20 @@ func replayJournal(path string) ([]*restoredJob, uint64, error) {
 	// flush-before-checkpoint order means this is normally a no-op, but a
 	// journal from a crashed *replay* could hold a stale tail.
 	for _, r := range order {
+		if len(r.spec.Variants) > 0 {
+			// Sweep job: samples interleave variants, so trim per variant —
+			// keep a sample only when its variant has a checkpoint at or
+			// after it. Variants without a checkpoint (including every
+			// shared variant) re-run from scratch and re-emit everything.
+			kept := r.samples[:0]
+			for _, smp := range r.samples {
+				if cp := r.vcps[smp.Variant]; cp != nil && smp.T <= cp.T {
+					kept = append(kept, smp)
+				}
+			}
+			r.samples = kept
+			continue
+		}
 		if r.cp == nil {
 			r.samples = nil // no restart point: the job re-runs from scratch
 			continue
@@ -224,6 +251,18 @@ func compactJournal(path string, live []*restoredJob) error {
 		if r.cp != nil {
 			if err := writeRec(journalRecord{Rec: "checkpoint", ID: r.id, Cp: r.cp}); err != nil {
 				return failCompact(f, tmp, err)
+			}
+		}
+		if len(r.vcps) > 0 {
+			names := make([]string, 0, len(r.vcps))
+			for n := range r.vcps {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				if err := writeRec(journalRecord{Rec: "checkpoint", ID: r.id, Variant: n, Cp: r.vcps[n]}); err != nil {
+					return failCompact(f, tmp, err)
+				}
 			}
 		}
 	}
@@ -282,8 +321,8 @@ func (j *journal) appendSamples(id string, from int, batch []Sample) error {
 	return j.append(journalRecord{Rec: "samples", ID: id, From: from, Samples: batch}, false, faultinject.JournalAppend)
 }
 
-func (j *journal) appendCheckpoint(id string, cp transient.Checkpoint) error {
-	return j.append(journalRecord{Rec: "checkpoint", ID: id, Cp: &cp}, true, faultinject.CheckpointWrite)
+func (j *journal) appendCheckpoint(id, variant string, cp transient.Checkpoint) error {
+	return j.append(journalRecord{Rec: "checkpoint", ID: id, Variant: variant, Cp: &cp}, true, faultinject.CheckpointWrite)
 }
 
 func (j *journal) appendDone(id string, state JobState, errMsg string) error {

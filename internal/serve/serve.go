@@ -1,17 +1,3 @@
-// Package serve is the MATEX simulation job service: a long-running HTTP
-// front end that accepts netlist-deck jobs (inline SPICE text or a named
-// pgbench case), runs them through a bounded worker-pool queue with
-// per-job contexts, and streams waveform samples incrementally (NDJSON or
-// SSE) as the integrators advance — the serving layer the paper's
-// "distributed framework" framing asks for on top of the compute stack.
-//
-// Every job on one process shares the content-addressed factorization
-// cache and the Krylov workspace arenas, so concurrent and repeated jobs
-// against the same grid skip straight to the transient phase the way
-// repeated dist.Run calls do. Distributed jobs additionally fan out
-// through internal/dist (in-process pool or matexd workers over TCP).
-//
-// See cmd/matexsrv for the daemon and README.md ("Serving") for the API.
 package serve
 
 import (
@@ -27,6 +13,7 @@ import (
 	"github.com/matex-sim/matex/internal/faultinject"
 	"github.com/matex-sim/matex/internal/krylov"
 	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/sweep"
 	"github.com/matex-sim/matex/internal/transient"
 )
 
@@ -109,6 +96,26 @@ type totals struct {
 	Steps          int `json:"steps"`
 	KrylovSpots    int `json:"krylov_spots"`
 	LanczosSpots   int `json:"lanczos_spots"`
+	// Sweeps counts completed sweep jobs and SweepVariants the variants
+	// they served; PanelWidths histograms the cross-variant solve panel
+	// widths (key = simultaneous right-hand sides in one batched solve),
+	// folded across all completed sweeps.
+	Sweeps        int         `json:"sweeps"`
+	SweepVariants int         `json:"sweep_variants"`
+	PanelWidths   map[int]int `json:"panel_width_histogram,omitempty"`
+}
+
+// addSweep folds one completed sweep's batching report into the cross-job
+// totals (the transient counters go through add, like any job).
+func (t *totals) addSweep(st *sweep.Stats) {
+	t.Sweeps++
+	t.SweepVariants += st.Variants
+	if len(st.Panel.Widths) > 0 && t.PanelWidths == nil {
+		t.PanelWidths = make(map[int]int)
+	}
+	for w, n := range st.Panel.Widths {
+		t.PanelWidths[w] += n
+	}
 }
 
 func (t *totals) add(s *transient.Stats) {
@@ -248,6 +255,20 @@ func (s *Server) restoreJob(r *restoredJob) (*Job, error) {
 	job.samples = r.samples
 	job.flushed = len(r.samples)
 	job.resume = r.cp
+	job.vresume = r.vcps
+	// A restored sweep continues each variant's VSeq past its retained
+	// samples, so the spliced stream stays gap- and duplicate-free.
+	for _, smp := range r.samples {
+		if smp.Variant == "" {
+			continue
+		}
+		if job.vseq == nil {
+			job.vseq = make(map[string]int)
+		}
+		if smp.VSeq > job.vseq[smp.Variant] {
+			job.vseq[smp.Variant] = smp.VSeq
+		}
+	}
 	return job, nil
 }
 
@@ -404,11 +425,20 @@ func (s *Server) runJob(job *Job) {
 	b := job.built
 	runStart := time.Now()
 	var (
-		res *transient.Result
-		rep *dist.Report
-		err error
+		res  *transient.Result
+		rep  *dist.Report
+		sres *sweep.Result
+		err  error
 	)
-	if job.Spec.Distributed {
+	if len(job.Spec.Variants) > 0 {
+		sres, err = s.runSweep(ctx, job)
+		if err == nil {
+			// The folded lane counters stand in as the job's transient
+			// stats; the sweep-specific report rides on the job separately.
+			res = &transient.Result{Stats: sres.Stats.Sim}
+			job.setSweepStats(&sres.Stats)
+		}
+	} else if job.Spec.Distributed {
 		res, rep, err = s.runDistributed(ctx, job.built, job.Spec, job.appendSample)
 	} else {
 		opts := transient.Options{
@@ -449,6 +479,9 @@ func (s *Server) runJob(job *Job) {
 	case err == nil:
 		s.completed++
 		s.agg.add(&res.Stats)
+		if sres != nil {
+			s.agg.addSweep(&sres.Stats)
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.canceled++
 	default:
@@ -468,6 +501,60 @@ func (s *Server) runJob(job *Job) {
 	s.mu.Lock()
 	s.pruneLocked()
 	s.mu.Unlock()
+}
+
+// runSweep executes a sweep job through internal/sweep on the server's
+// shared cache and workspaces: per-variant samples stream into the job as
+// lanes advance, per-variant checkpoints journal on durable servers, and
+// a journal-restored job resumes its directly-integrated variants from
+// their checkpoints (shared variants re-run — resume disables sharing).
+func (s *Server) runSweep(ctx context.Context, job *Job) (*sweep.Result, error) {
+	b := job.built
+	sopts := sweep.Options{
+		Base: transient.Options{
+			Tstop:        b.tstop,
+			Step:         b.step,
+			Probes:       b.probes,
+			Tol:          job.Spec.Tol,
+			Gamma:        job.Spec.Gamma,
+			MaxDim:       job.Spec.MaxDim,
+			Ordering:     b.order,
+			Krylov:       b.krylov,
+			SolveWorkers: job.Spec.SolveWorkers,
+			Cache:        s.cache,
+			Workspaces:   s.workspaces,
+			Ctx:          ctx,
+		},
+		Method: b.method,
+		OnVariantSample: func(v int, t float64, probes []float64) {
+			job.appendVariantSample(variantName(job.Spec.Variants, v), t, probes)
+		},
+	}
+	if s.journal != nil {
+		sopts.Base.CheckpointEvery = s.cfg.CheckpointEvery
+		sopts.OnVariantCheckpoint = func(v int, cp transient.Checkpoint) error {
+			return job.journalVariantCheckpoint(variantName(job.Spec.Variants, v), cp)
+		}
+	}
+	if len(job.vresume) > 0 {
+		rv := make(map[int]transient.Checkpoint, len(job.vresume))
+		for i := range job.Spec.Variants {
+			if cp := job.vresume[variantName(job.Spec.Variants, i)]; cp != nil {
+				rv[i] = *cp
+			}
+		}
+		sopts.ResumeVariants = rv
+	}
+	return sweep.Run(b.sys, job.Spec.Variants, sopts)
+}
+
+// variantName resolves the journal/stream name of variant i, applying the
+// same "v<index>" default as the sweep engine.
+func variantName(vs []sweep.Variant, i int) string {
+	if i < len(vs) && vs[i].Name != "" {
+		return vs[i].Name
+	}
+	return fmt.Sprintf("v%d", i)
 }
 
 // runDistributed fans the job out through the dist scheduler and replays

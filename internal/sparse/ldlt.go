@@ -41,7 +41,7 @@ type LDLT struct {
 	coeff    []float64
 
 	// gbuf is the factor-owned below-block gather buffer for the supernodal
-	// solves (4·maxRows: room for the widest multi-RHS block), claimed with
+	// solves (8·maxRows: room for the widest multi-RHS block), claimed with
 	// a CAS so the uncontended solve stays allocation-free even under the
 	// race detector, where sync.Pool deliberately drops Puts. Concurrent
 	// solves that lose the claim fall back to the shared pool.
@@ -499,13 +499,16 @@ func (f *LDLT) SolveMultiWith(dst, b [][]float64, work []float64) {
 			panic("sparse: LDLT.SolveMulti dimension mismatch")
 		}
 	}
-	// Process the panel in blocks of up to 4 right-hand sides. The 4-wide
-	// block runs a specialized kernel holding the active solutions in
-	// registers — one traversal of the factor's index/value arrays per
-	// block, four fused updates per entry, no inner-loop bounds checks.
+	// Process the panel in blocks of bounded width — one traversal of the
+	// factor's index/value arrays per block, fused per-entry updates, no
+	// inner-loop bounds checks. The supernodal kernel is generic over the
+	// block width and takes up to 8 right-hand sides, so a sweep's
+	// full-width panel costs a single factor traversal; the scalar path
+	// pairs a specialized 4-wide register kernel with a generic kernel for
+	// the 1-3 leftovers.
 	if f.sym.sn != nil {
-		for lo := 0; lo < k; lo += 4 {
-			hi := lo + 4
+		for lo := 0; lo < k; lo += 8 {
+			hi := lo + 8
 			if hi > k {
 				hi = k
 			}
@@ -552,12 +555,15 @@ func (f *LDLT) solvePanel4(dst, b [][]float64, work []float64) {
 			work[t+3] -= v * x3
 		}
 	}
+	// True divisions, so the panel matches the sequential solve bitwise
+	// (a reciprocal multiply rounds differently, and the sweep engine
+	// promises batched lanes reproduce solo runs exactly).
 	for j := 0; j < n; j++ {
-		inv := 1 / d[j]
-		work[4*j] *= inv
-		work[4*j+1] *= inv
-		work[4*j+2] *= inv
-		work[4*j+3] *= inv
+		dj := d[j]
+		work[4*j] /= dj
+		work[4*j+1] /= dj
+		work[4*j+2] /= dj
+		work[4*j+3] /= dj
 	}
 	for j := n - 1; j >= 0; j-- {
 		x0, x1, x2, x3 := work[4*j], work[4*j+1], work[4*j+2], work[4*j+3]
@@ -611,10 +617,10 @@ func (f *LDLT) solvePanelN(dst, b [][]float64, work []float64) {
 		}
 	}
 	for j := 0; j < n; j++ {
-		inv := 1 / d[j]
+		dj := d[j]
 		row := work[j*k : j*k+k]
 		for r := range row {
-			row[r] *= inv
+			row[r] /= dj
 		}
 	}
 	for j := n - 1; j >= 0; j-- {

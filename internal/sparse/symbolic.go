@@ -572,7 +572,7 @@ func (s *Symbolic) Refactor(a *CSC) (*LDLT, error) {
 		f.smap = make([]int32, s.n)
 		f.uptmp = make([]float64, s.sn.maxRows)
 		f.coeff = make([]float64, s.sn.maxW)
-		f.gbuf = make([]float64, 4*s.sn.maxRows)
+		f.gbuf = make([]float64, 8*s.sn.maxRows)
 	} else {
 		f.values = make([]float64, s.lnz)
 		f.valuesR = make([]float64, s.lnz)

@@ -1,0 +1,518 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/matex-sim/matex/internal/circuit"
+	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/transient"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// Base is the shared solver configuration every variant runs under:
+	// Tstop, Probes, Tol, Gamma, Cache, Workspaces, and so on. Its
+	// OnSample, OnCheckpoint and ActiveInputs fields are owned by the
+	// engine and must be left nil; use the per-variant hooks below. A nil
+	// Base.Cache is replaced by a sweep-private cache so the variants
+	// still share one factorization lineage.
+	Base transient.Options
+	// Method is the integrator every variant runs (mixed-method sweeps
+	// are not supported; submit separate sweeps).
+	Method transient.Method
+	// DisableBatch turns off the cross-variant solve broker: lanes still
+	// share the cache but solve solo. Benchmarks use it to isolate the
+	// panel win.
+	DisableBatch bool
+	// DisableShare turns off collinear-variant sharing: every variant
+	// integrates on its own lane even when it is an exact scalar multiple
+	// of another.
+	DisableShare bool
+	// OnVariantSample, when non-nil, streams output samples. Directly
+	// integrated variants stream live as their lanes advance —
+	// concurrently, so the hook must be safe to call from multiple
+	// goroutines — and derived (shared) variants stream in bulk when the
+	// sweep assembles them. The probes row aliases engine memory; copy to
+	// retain. Within one variant, samples always arrive in time order.
+	OnVariantSample func(variant int, t float64, probes []float64) `json:"-"`
+	// OnVariantCheckpoint, when non-nil, receives restartable snapshots
+	// for directly integrated variants every Base.CheckpointEvery
+	// accepted steps (variants served by sharing are re-run on resume
+	// instead). May be called concurrently. A non-nil return aborts the
+	// sweep.
+	OnVariantCheckpoint func(variant int, cp transient.Checkpoint) error `json:"-"`
+	// ResumeVariants re-enters interrupted variants at their last
+	// checkpoint (key = variant index). A resumed sweep runs every
+	// variant on its own lane (sharing disabled) so the checkpoint
+	// contract stays per-variant; variants without an entry restart from
+	// DC.
+	ResumeVariants map[int]transient.Checkpoint `json:"-"`
+	// SkipVariants marks variants already completed (restored from a
+	// journal): they are neither integrated nor emitted, and their slot
+	// in Result.Variants is a zero VariantResult with only the name set.
+	SkipVariants map[int]bool `json:"-"`
+}
+
+// VariantResult is one variant's waveform.
+type VariantResult struct {
+	// Name echoes the variant's (defaulted) name.
+	Name string `json:"name"`
+	// Times and Probes are the output grid and probe rows, exactly as a
+	// solo transient run of this variant would record them.
+	Times  []float64   `json:"times,omitempty"`
+	Probes [][]float64 `json:"probes,omitempty"`
+	// Final is the state at Tstop.
+	Final []float64 `json:"final,omitempty"`
+	// Shared marks results served by linearity (scaled or recombined from
+	// a representative lane) rather than a dedicated integration.
+	Shared bool `json:"shared,omitempty"`
+	// Skipped marks variants excluded via Options.SkipVariants.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Stats aggregates the work of a sweep.
+type Stats struct {
+	// Variants is the number requested; Lanes the number of integrations
+	// actually run; SharedVariants the variants served by linearity.
+	Variants       int `json:"variants"`
+	Lanes          int `json:"lanes"`
+	SharedVariants int `json:"shared_variants"`
+	// Sim folds the transient work counters across all lanes; with a
+	// shared cache, Sim.Factorizations counts factorizations computed
+	// once for the whole sweep.
+	Sim transient.Stats `json:"sim"`
+	// Panel reports the cross-variant solve batching (zero when the
+	// broker was disabled or the sweep ran a single lane).
+	Panel sparse.PanelStats `json:"panel"`
+}
+
+// Result is a completed sweep: one VariantResult per requested variant,
+// in input order.
+type Result struct {
+	Variants []VariantResult `json:"variants"`
+	Stats    Stats           `json:"stats"`
+}
+
+// Validate resolves variants against sys without running anything: it
+// reports the spec errors Run would (no load sources, duplicate names,
+// unknown scale or override targets, malformed waveforms), so a serving
+// layer can reject a bad sweep at submit time instead of at run time.
+func Validate(sys *circuit.System, variants []Variant) error {
+	if len(variants) == 0 {
+		return fmt.Errorf("sweep: no variants")
+	}
+	_, err := compile(sys, variants)
+	return err
+}
+
+// lane is one integration to execute.
+type lane struct {
+	sys     *circuit.System
+	active  []bool // input mask; nil = all
+	variant int    // >= 0: this lane is exactly that variant's waveform
+	res     *transient.Result
+}
+
+// member ties a variant to its group representative: v's load response
+// equals c times the representative's.
+type member struct {
+	v int
+	c float64
+}
+
+// group is a set of collinear variants served together.
+type group struct {
+	rep     int // variant index of the representative (|c| maximal, c ≡ 1)
+	members []member
+	// lanes resolved by planLanes:
+	direct int // lane integrating the representative's full waveform (-1 when split)
+	sup    int // supplies-only lane (-1 unless split)
+	load   int // loads-only representative lane (-1 unless split)
+}
+
+// Run executes variants of sys as one batched sweep. See the package
+// comment for the sharing model. The returned error is the first lane
+// failure; on error the remaining lanes are canceled via the run context.
+func Run(sys *circuit.System, variants []Variant, opts Options) (*Result, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("sweep: no variants")
+	}
+	if opts.Base.OnSample != nil || opts.Base.OnCheckpoint != nil || opts.Base.ActiveInputs != nil {
+		return nil, fmt.Errorf("sweep: Base.OnSample/OnCheckpoint/ActiveInputs are engine-owned; use the sweep hooks")
+	}
+	cvs, err := compile(sys, variants)
+	if err != nil {
+		return nil, err
+	}
+	base := opts.Base
+	if base.Cache == nil {
+		base.Cache = sparse.NewCache(0)
+	}
+	noShare := opts.DisableShare || len(opts.ResumeVariants) > 0
+	groups := planGroups(cvs, opts.Method, noShare, opts.SkipVariants)
+	lanes, err := planLanes(sys, cvs, groups)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Variants: make([]VariantResult, len(variants))}
+	for v := range cvs {
+		res.Variants[v].Name = cvs[v].name
+		if opts.SkipVariants[v] {
+			res.Variants[v].Skipped = true
+		}
+	}
+	res.Stats.Variants = len(variants)
+	res.Stats.Lanes = len(lanes)
+	if len(lanes) == 0 {
+		return res, nil // everything skipped
+	}
+
+	var broker *sparse.PanelBroker
+	if !opts.DisableBatch && len(lanes) > 1 {
+		broker = sparse.NewPanelBroker()
+	}
+	parent := base.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	// Join every lane before any goroutine starts, so the first barrier
+	// round already waits for the full fleet.
+	joined := make([]*sparse.PanelLane, len(lanes))
+	if broker != nil {
+		for i := range lanes {
+			joined[i] = broker.Join()
+		}
+	}
+	for i := range lanes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ln := lanes[i]
+			lopts := base
+			lopts.Ctx = ctx
+			lopts.ActiveInputs = ln.active
+			if joined[i] != nil {
+				defer joined[i].Leave()
+				lopts.Panel = joined[i]
+			}
+			var r *transient.Result
+			var err error
+			if v := ln.variant; v >= 0 {
+				if opts.OnVariantSample != nil {
+					lopts.OnSample = func(t float64, probes []float64) {
+						opts.OnVariantSample(v, t, probes)
+					}
+				}
+				if opts.OnVariantCheckpoint != nil {
+					lopts.OnCheckpoint = func(cp transient.Checkpoint) error {
+						return opts.OnVariantCheckpoint(v, cp)
+					}
+				}
+				if cp, ok := opts.ResumeVariants[v]; ok {
+					r, err = transient.Resume(ln.sys, opts.Method, lopts, cp)
+				} else {
+					r, err = transient.Simulate(ln.sys, opts.Method, lopts)
+				}
+			} else {
+				r, err = transient.Simulate(ln.sys, opts.Method, lopts)
+			}
+			if err != nil {
+				fail(fmt.Errorf("sweep: lane %d: %w", i, err))
+				return
+			}
+			lanes[i].res = r
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i := range lanes {
+		foldStats(&res.Stats.Sim, &lanes[i].res.Stats)
+	}
+	if broker != nil {
+		res.Stats.Panel = broker.Stats()
+	}
+	if err := assemble(res, cvs, groups, lanes, &opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// planGroups partitions the variants into collinear groups. With sharing
+// off (or on resume) every variant is its own singleton group.
+func planGroups(cvs []compiled, method transient.Method, noShare bool, skip map[int]bool) []group {
+	var groups []group
+	for v := range cvs {
+		if skip[v] {
+			continue
+		}
+		if !noShare {
+			placed := false
+			for gi := range groups {
+				g := &groups[gi]
+				if c, ok := cvs[v].collinearWith(&cvs[g.rep]); ok {
+					g.members = append(g.members, member{v: v, c: c})
+					placed = true
+					break
+				}
+			}
+			if placed {
+				continue
+			}
+		}
+		groups = append(groups, group{rep: v, members: []member{{v: v, c: 1}}})
+	}
+	// Re-anchor each group on its largest-magnitude member, so every
+	// derived member scales a representative down (|c| <= 1) and the
+	// Krylov error bound of the representative covers the whole group.
+	for gi := range groups {
+		g := &groups[gi]
+		best, bestAbs := g.rep, 0.0
+		for _, m := range g.members {
+			abs := m.c
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs > bestAbs {
+				best, bestAbs = m.v, abs
+			}
+		}
+		if best != g.rep {
+			var cBest float64
+			for _, m := range g.members {
+				if m.v == best {
+					cBest = m.c
+				}
+			}
+			for i := range g.members {
+				g.members[i].c /= cBest
+			}
+			g.rep = best
+		}
+	}
+	// TRAdaptive picks its step grid from the solution, so the two
+	// component integrations of a split group would land on different
+	// grids; degrade distinct-scale groups to solo lanes there.
+	if method == transient.TRAdaptive {
+		var out []group
+		for _, g := range groups {
+			if sameScales(g.members) {
+				out = append(out, g)
+				continue
+			}
+			for _, m := range g.members {
+				out = append(out, group{rep: m.v, members: []member{{v: m.v, c: 1}}})
+			}
+		}
+		groups = out
+	}
+	return groups
+}
+
+func sameScales(ms []member) bool {
+	for _, m := range ms {
+		if m.c != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// planLanes resolves groups into concrete integrations.
+func planLanes(sys *circuit.System, cvs []compiled, groups []group) ([]lane, error) {
+	hasSupply := false
+	for _, in := range sys.Inputs {
+		if in.Supply {
+			hasSupply = true
+			break
+		}
+	}
+	var lanes []lane
+	add := func(l lane) int {
+		lanes = append(lanes, l)
+		return len(lanes) - 1
+	}
+	// No variant ever touches a supply input (compile only maps load
+	// sources), so the supplies-only component is identical across groups
+	// whose override shapes match: one lane serves them all. The output
+	// grid derives from the system's waveform structure — which the
+	// shape fingerprint captures — not from the input values, so the
+	// shared lane lands on every such group's grid.
+	supByShape := map[string]int{}
+	for gi := range groups {
+		g := &groups[gi]
+		g.direct, g.sup, g.load = -1, -1, -1
+		repSys := cvs[g.rep].system(sys)
+		if sameScales(g.members) {
+			// Copies of one exact waveform: integrate the representative
+			// once, duplicate for the rest.
+			g.direct = add(lane{sys: repSys, variant: g.rep})
+			continue
+		}
+		if !hasSupply {
+			// Pure load deck: the whole response scales, one lane serves
+			// every member.
+			g.direct = add(lane{sys: repSys, variant: g.rep})
+			continue
+		}
+		// Superposition split: x_m(t) = x_sup(t) + c_m · x_load(t). Both
+		// components run on the representative's system with an input
+		// mask, and share its output grid (the grid derives from the
+		// waveforms, not the solution).
+		supMask := make([]bool, len(sys.Inputs))
+		loadMask := make([]bool, len(sys.Inputs))
+		for i, in := range sys.Inputs {
+			supMask[i] = in.Supply
+			loadMask[i] = !in.Supply
+		}
+		if si, ok := supByShape[cvs[g.rep].shape]; ok {
+			g.sup = si
+		} else {
+			g.sup = add(lane{sys: repSys, active: supMask, variant: -1})
+			supByShape[cvs[g.rep].shape] = g.sup
+		}
+		g.load = add(lane{sys: repSys, active: loadMask, variant: -1})
+	}
+	return lanes, nil
+}
+
+// assemble fills derived variants from their group's lanes and emits
+// their samples through the streaming hook.
+func assemble(res *Result, cvs []compiled, groups []group, lanes []lane, opts *Options) error {
+	emit := func(v int, vr *VariantResult) {
+		if opts.OnVariantSample == nil {
+			return
+		}
+		for i, t := range vr.Times {
+			var row []float64
+			if i < len(vr.Probes) {
+				row = vr.Probes[i]
+			}
+			opts.OnVariantSample(v, t, row)
+		}
+	}
+	for _, g := range groups {
+		if g.direct >= 0 {
+			rep := lanes[g.direct].res
+			for _, m := range g.members {
+				vr := &res.Variants[m.v]
+				if m.v == g.rep {
+					vr.Times, vr.Probes, vr.Final = rep.Times, rep.Probes, rep.Final
+					continue // streamed live by its lane
+				}
+				vr.Shared = true
+				vr.Times = rep.Times
+				if m.c == 1 {
+					vr.Probes, vr.Final = rep.Probes, rep.Final
+				} else {
+					vr.Probes = scaleRows(rep.Probes, m.c)
+					vr.Final = scaleRow(rep.Final, m.c)
+				}
+				emit(m.v, vr)
+			}
+			continue
+		}
+		sup, load := lanes[g.sup].res, lanes[g.load].res
+		if len(sup.Times) != len(load.Times) {
+			return fmt.Errorf("sweep: internal: component grids diverged (%d vs %d samples)", len(sup.Times), len(load.Times))
+		}
+		for _, m := range g.members {
+			vr := &res.Variants[m.v]
+			vr.Shared = true
+			vr.Times = sup.Times
+			vr.Probes = combineRows(sup.Probes, load.Probes, m.c)
+			vr.Final = combineRow(sup.Final, load.Final, m.c)
+			emit(m.v, vr)
+		}
+	}
+	for _, g := range groups {
+		for _, m := range g.members {
+			if m.v != g.rep {
+				res.Stats.SharedVariants++
+			} else if g.direct < 0 {
+				res.Stats.SharedVariants++ // split representative is derived too
+			}
+		}
+	}
+	return nil
+}
+
+func scaleRow(row []float64, c float64) []float64 {
+	if row == nil {
+		return nil
+	}
+	out := make([]float64, len(row))
+	for i, x := range row {
+		out[i] = c * x
+	}
+	return out
+}
+
+func scaleRows(rows [][]float64, c float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i := range rows {
+		out[i] = scaleRow(rows[i], c)
+	}
+	return out
+}
+
+func combineRow(a, b []float64, c float64) []float64 {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + c*b[i]
+	}
+	return out
+}
+
+func combineRows(a, b [][]float64, c float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = combineRow(a[i], b[i], c)
+	}
+	return out
+}
+
+// foldStats accumulates one lane's transient counters into the sweep
+// total.
+func foldStats(dst *transient.Stats, s *transient.Stats) {
+	dst.Factorizations += s.Factorizations
+	dst.SolvePairs += s.SolvePairs
+	dst.SpMVs += s.SpMVs
+	dst.ExpmEvals += s.ExpmEvals
+	dst.KrylovDims = append(dst.KrylovDims, s.KrylovDims...)
+	dst.Steps += s.Steps
+	dst.Rejected += s.Rejected
+	dst.Regularized = dst.Regularized || s.Regularized
+	dst.CacheHits += s.CacheHits
+	dst.CacheMisses += s.CacheMisses
+	dst.LanczosSpots += s.LanczosSpots
+	dst.SymbolicHits += s.SymbolicHits
+	dst.Refactors += s.Refactors
+	dst.DCTime += s.DCTime
+	dst.FactorTime += s.FactorTime
+	dst.TransientTime += s.TransientTime
+}

@@ -1,18 +1,3 @@
-// Package transient implements the time-domain integrators compared in the
-// MATEX paper, over the MNA systems assembled by package circuit:
-//
-//   - forward Euler, backward Euler and trapezoidal (TR) with a fixed step
-//     and a single up-front factorization (the 2012 TAU power-grid contest
-//     framework the paper benchmarks against),
-//   - TR with adaptive local-truncation-error stepping, which must
-//     re-factorize whenever the step changes,
-//   - the MATEX circuit solver (paper Alg. 2): matrix-exponential stepping
-//     with standard (MEXP), inverted (I-MATEX) or rational (R-MATEX) Krylov
-//     subspaces, adaptive steps between input transition spots, and
-//     substitution-free snapshot evaluation by Krylov subspace reuse.
-//
-// Every solver reports a Stats block with the work counters the paper's
-// complexity model (Eqs. 11-12) is built from.
 package transient
 
 import (
@@ -184,6 +169,14 @@ type Options struct {
 	// that cannot record progress can choose to stop instead of running
 	// uncheckpointed.
 	OnCheckpoint func(cp Checkpoint) error `json:"-"`
+	// Panel, when non-nil, is this run's lane on a sparse.PanelBroker:
+	// every factorization the run acquires is wrapped so its triangular
+	// solves park at the broker's barrier and execute as multi-RHS panels
+	// together with the other lanes' solves. The sweep engine sets it to
+	// batch N scenario variants' Krylov builds into shared SolveMulti
+	// panels; solo runs leave it nil. The lane's lifecycle (Join/Leave)
+	// belongs to the caller, not the integrator.
+	Panel *sparse.PanelLane `json:"-"`
 	// CheckpointEvery is the OnCheckpoint cadence in accepted steps;
 	// 0 defaults to 128 when the hook is set. Smaller values shrink the
 	// recovery window at the cost of more snapshot I/O.
@@ -383,14 +376,25 @@ func acquireFactor(a *sparse.CSC, opts Options, stats *Stats) (sparse.Factorizat
 			return nil, err
 		}
 		stats.AddFactorInfo(info)
-		return f, nil
+		return wrapPanel(f, opts), nil
 	}
 	f, err := sparse.Factor(a, opts.FactorKind, opts.Ordering)
 	if err != nil {
 		return nil, err
 	}
 	stats.Factorizations++
-	return f, nil
+	return wrapPanel(f, opts), nil
+}
+
+// wrapPanel routes a freshly acquired factorization through the run's
+// sweep panel lane, when one is configured. acquireFactor/acquireFactorSum
+// are the only factorization entry points, so wrapping here covers every
+// solve an integrator issues.
+func wrapPanel(f sparse.Factorization, opts Options) sparse.Factorization {
+	if opts.Panel == nil {
+		return f
+	}
+	return opts.Panel.Wrap(f)
 }
 
 // acquireFactorSum obtains a factorization of alpha·a + beta·b, consulting
@@ -404,14 +408,14 @@ func acquireFactorSum(alpha float64, a *sparse.CSC, beta float64, b *sparse.CSC,
 			return nil, err
 		}
 		stats.AddFactorInfo(info)
-		return f, nil
+		return wrapPanel(f, opts), nil
 	}
 	f, err := sparse.Factor(sparse.Add(alpha, a, beta, b), opts.FactorKind, opts.Ordering)
 	if err != nil {
 		return nil, err
 	}
 	stats.Factorizations++
-	return f, nil
+	return wrapPanel(f, opts), nil
 }
 
 // AddFactorInfo folds one cache acquisition into the work counters; the

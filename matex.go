@@ -33,6 +33,7 @@ import (
 	"github.com/matex-sim/matex/internal/pdn"
 	"github.com/matex-sim/matex/internal/serve"
 	"github.com/matex-sim/matex/internal/sparse"
+	"github.com/matex-sim/matex/internal/sweep"
 	"github.com/matex-sim/matex/internal/transient"
 	"github.com/matex-sim/matex/internal/waveform"
 )
@@ -179,7 +180,8 @@ type (
 	DistReport = dist.Report
 	// Task is one superposition subtask.
 	Task = dist.Task
-	// WorkerServer is the net/rpc worker service (see cmd/matexd).
+	// WorkerServer is the net/rpc worker service hosted by cmd/matexd
+	// (accept connections with dist.Serve).
 	WorkerServer = dist.WorkerServer
 )
 
@@ -192,8 +194,53 @@ func SimulateDistributed(sys *System, cfg DistConfig) (*Result, *DistReport, err
 // NewRPCPool connects to matexd workers over TCP.
 func NewRPCPool(sys *System, addrs []string) (dist.Pool, error) { return dist.NewRPCPool(sys, addrs) }
 
-// NewWorkerServer returns a worker service for use with ServeWorkers.
+// NewWorkerServer returns a worker service for use with dist.Serve.
 func NewWorkerServer() *WorkerServer { return dist.NewWorkerServer() }
+
+// Scenario sweeps: N variants of one deck as a single batched run.
+type (
+	// SweepVariant describes one scenario of a base deck: load-source
+	// rescaling (uniform, per-source, or deterministic Monte-Carlo) and/or
+	// per-source waveform overrides. The zero SweepVariant reproduces the
+	// base deck exactly.
+	SweepVariant = sweep.Variant
+	// SweepOverride is the JSON-friendly waveform spec of
+	// SweepVariant.Overrides ("dc", "pulse" or "pwl").
+	SweepOverride = sweep.Override
+	// SweepOptions configures a sweep run: the shared base Options, the
+	// integrator, streaming/checkpoint hooks, and switches for the
+	// batching machinery.
+	SweepOptions = sweep.Options
+	// SweepResult is a completed sweep: one SweepVariantResult per
+	// requested variant plus the batching statistics.
+	SweepResult = sweep.Result
+	// SweepVariantResult is one variant's waveform, exactly as a solo
+	// transient run of that variant would record it.
+	SweepVariantResult = sweep.VariantResult
+	// SweepStats reports a sweep's sharing: lanes actually integrated,
+	// variants served by linearity, folded solver counters, and the solve
+	// panel histogram.
+	SweepStats = sweep.Stats
+	// PanelStats is the multi-RHS solve panel report of a sweep (rounds,
+	// batched solves, width histogram).
+	PanelStats = sparse.PanelStats
+)
+
+// SimulateSweep runs every variant of the deck as one batched sweep: all
+// variants share a single symbolic analysis and factorization-cache
+// lineage, concurrent lanes batch their Krylov triangular solves into
+// multi-RHS panels, and variants whose load vectors are exact scalar
+// multiples of another's are served by linearity instead of integration.
+// Results are bitwise identical to simulating each variant alone.
+func SimulateSweep(sys *System, variants []SweepVariant, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(sys, variants, opts)
+}
+
+// ValidateSweep checks a variant list against the system without running
+// anything, surfacing the spec errors SimulateSweep would return.
+func ValidateSweep(sys *System, variants []SweepVariant) error {
+	return sweep.Validate(sys, variants)
+}
 
 // Serving: the HTTP simulation job service (see cmd/matexsrv).
 type (

@@ -57,6 +57,7 @@ func main() {
 	rowsPat := flag.String("rows", "^Benchmark(Factor_|Refactor|SolvePar|SolveSeq|SolveMulti)", "regexp selecting the gated rows")
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail when new/base ns/op exceeds this on any gated row")
 	parMaxRatio := flag.Float64("par-max-ratio", 1.15, "fail when a fresh SolvePar_* row is slower than its SolveSeq_* twin past this factor (small headroom for CI jitter; a broken task schedule blows well past it)")
+	sweepMaxRatio := flag.Float64("sweep-max-ratio", 5.0, "fail when the fresh BenchmarkSweep_k8 row costs more than this many fresh BenchmarkSweepSolo walls (8 variants for under 5 solo runs; lost sharing or batching blows past it)")
 	flag.Parse()
 
 	sel, err := regexp.Compile(*rowsPat)
@@ -156,7 +157,45 @@ func main() {
 		}
 	}
 
+	// Sweep amortization gate: a fresh k-variant sweep must beat k solo
+	// runs by a healthy margin — the whole point of the sweep engine. Like
+	// the parallel gate this checks the fresh run against itself, so a slow
+	// CI machine cannot trip it; only a lost sharing/batching path can.
+	sweepFailed := 0
+	if solo, ok := fresh["BenchmarkSweepSolo"]; ok {
+		var sweepNames []string
+		for name := range fresh {
+			if strings.HasPrefix(name, "BenchmarkSweep_k") {
+				sweepNames = append(sweepNames, name)
+			}
+		}
+		sort.Strings(sweepNames)
+		if len(sweepNames) > 0 {
+			fmt.Printf("\n### Sweep vs solo (fresh run, gate: Sweep_k8 ≤ %.2fx SweepSolo)\n\n", *sweepMaxRatio)
+			fmt.Printf("| sweep | solo ns/op | sweep ns/op | ratio | gated | status |\n")
+			fmt.Printf("|---|---:|---:|---:|:-:|:-:|\n")
+			for _, name := range sweepNames {
+				ratio := fresh[name] / solo
+				gated := name == "BenchmarkSweep_k8"
+				status := "—"
+				if gated {
+					status = ":white_check_mark:"
+					if ratio > *sweepMaxRatio {
+						status = ":x:"
+						sweepFailed++
+					}
+				}
+				fmt.Printf("| %s | %.0f | %.0f | %.2fx | %v | %s |\n",
+					strings.TrimPrefix(name, "Benchmark"), solo, fresh[name], ratio, gated, status)
+			}
+		}
+	}
+
 	fmt.Println()
+	if sweepFailed > 0 {
+		fmt.Printf("**FAIL**: Sweep_k8 costs more than %.2fx a solo run.\n", *sweepMaxRatio)
+		os.Exit(1)
+	}
 	if parFailed > 0 {
 		fmt.Printf("**FAIL**: %d parallel-solve row(s) slower than sequential past %.2fx.\n", parFailed, *parMaxRatio)
 		os.Exit(1)

@@ -168,6 +168,53 @@ assert s["totals"]["cache_hits"] > 0, "no shared-cache hits across jobs: %r" % (
 print("stats ok: %d jobs, %d cache hits" % (s["jobs_completed"], s["totals"]["cache_hits"]))
 EOF
 
+say "matexsrv POST /sweep + SSE stream"
+# Three corner variants of the same deck: typ plus two global intensity
+# corners — a collinear family, so the server must plan fewer lanes than
+# variants and still stream every variant's waveform.
+python3 - "$workdir/deck.sp" > "$workdir/sweepjob.json" <<'EOF'
+import json, sys
+print(json.dumps({
+    "netlist": open(sys.argv[1]).read(),
+    "variants": [
+        {"name": "typ"},
+        {"name": "low", "scale": 0.875},
+        {"name": "high", "scale": 1.25},
+    ],
+}))
+EOF
+curl -sf -X POST --data-binary @"$workdir/sweepjob.json" \
+    "http://127.0.0.1:18080/sweep" > "$workdir/sweep_submit.json"
+sweep_id=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$workdir/sweep_submit.json")
+curl -sf "http://127.0.0.1:18080/v1/jobs/$sweep_id/stream?sse=1" > "$workdir/sweep.sse"
+python3 - "$workdir/sweep.sse" <<'EOF'
+import json, sys
+samples, tail, last_vseq = {}, None, {}
+for block in open(sys.argv[1]).read().split("\n\n"):
+    data = "".join(l[5:].lstrip() for l in block.splitlines() if l.startswith("data:"))
+    if not data:
+        continue
+    c = json.loads(data)
+    if c.get("done"):
+        tail = c
+    elif c.get("variant"):
+        v = c["variant"]
+        samples[v] = samples.get(v, 0) + 1
+        assert c["vseq"] == last_vseq.get(v, 0) + 1, \
+            "variant %s vseq gap: %r after %r" % (v, c["vseq"], last_vseq.get(v))
+        last_vseq[v] = c["vseq"]
+assert tail is not None, "SSE stream has no done chunk"
+assert tail.get("state") == "done", "sweep ended %r" % (tail.get("state"),)
+rep = tail.get("sweep")
+assert rep, "done chunk missing the sweep report: %r" % (tail,)
+assert sorted(samples) == ["high", "low", "typ"], "variants seen: %r" % (samples,)
+counts = set(samples.values())
+assert len(counts) == 1, "per-variant sample counts diverge: %r" % (samples,)
+assert rep["lanes"] < 3, "collinear family did not share lanes: %r" % (rep,)
+print("sweep streamed %d samples x %d variants over %d lane(s)"
+      % (samples["typ"], len(samples), rep["lanes"]))
+EOF
+
 say "matexsrv SIGTERM graceful drain"
 kill -TERM "$MATEXSRV_PID"
 srv_rc=0
